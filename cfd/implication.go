@@ -1,0 +1,82 @@
+package cfd
+
+// This file provides a syntactic redundancy reducer for discovered covers.
+// The paper lists "the use of CFD inference in discovery, to eliminate CFDs
+// that are entailed by those already found" as future work (§8); full CFD
+// implication analysis is coNP-complete in general, so RemoveImplied applies
+// only sound, syntactic entailment rules — it never removes a CFD that is not
+// logically implied by the remaining ones, but it does not find every
+// redundancy.
+
+// impliedBy reports whether the CFD c is implied by the single CFD by, using
+// two sound rules:
+//
+//  1. by is (Y → A, (sp ‖ a)) with a constant right-hand side, c has the same
+//     right-hand side attribute, Y ⊆ LHS(c), and c's pattern agrees with sp on
+//     Y. Then every tuple matching c's LHS pattern also matches sp, hence
+//     carries A = a, so c holds whenever by does (for both constant and
+//     variable right-hand sides of c, provided a constant right-hand side of c
+//     equals a).
+//  2. by and c are the same dependency (same embedded FD and pattern) — the
+//     trivial case.
+func impliedBy(c, by CFD) bool {
+	if c.RHS != by.RHS {
+		return false
+	}
+	if c.Equal(by) {
+		return true
+	}
+	if by.RHSPattern == Wildcard {
+		return false
+	}
+	if c.RHSPattern != Wildcard && c.RHSPattern != by.RHSPattern {
+		return false
+	}
+	// Every (attribute, constant) of by's LHS must appear identically in c's LHS.
+	cPattern := make(map[string]string, len(c.LHS))
+	for i, a := range c.LHS {
+		cPattern[a] = c.LHSPattern[i]
+	}
+	for i, a := range by.LHS {
+		got, ok := cPattern[a]
+		if !ok {
+			return false
+		}
+		if by.LHSPattern[i] == Wildcard {
+			continue
+		}
+		if got != by.LHSPattern[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RemoveImplied returns the cover with CFDs that are syntactically implied by
+// another retained CFD removed. The reduction is sound: the returned set is
+// logically equivalent to the input. It is not complete: CFDs implied only
+// through deeper inference are kept. Within a group of mutually implied CFDs
+// the one listed first is retained.
+func RemoveImplied(cfds []CFD) []CFD {
+	removed := make([]bool, len(cfds))
+	for i := range cfds {
+		if removed[i] {
+			continue
+		}
+		for j := range cfds {
+			if i == j || removed[j] {
+				continue
+			}
+			if impliedBy(cfds[j], cfds[i]) {
+				removed[j] = true
+			}
+		}
+	}
+	var out []CFD
+	for i, c := range cfds {
+		if !removed[i] {
+			out = append(out, c)
+		}
+	}
+	return out
+}

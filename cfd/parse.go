@@ -1,0 +1,103 @@
+package cfd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a CFD written in the paper's notation, as produced by
+// CFD.String, for example:
+//
+//	([CC,AC] -> CT, (01, _ || MH))
+//	([ZIP] -> STR, (_ || _))
+//	([] -> CC, ( || 01))
+//
+// Whitespace around separators is ignored. Constants may not contain the
+// characters '[', ']', '(', ')', ',' or '|'; the unnamed variable is "_".
+func Parse(s string) (CFD, error) {
+	orig := s
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return CFD{}, fmt.Errorf("cfd: %q: expected outer parentheses", orig)
+	}
+	s = strings.TrimSpace(s[1 : len(s)-1])
+	if !strings.HasPrefix(s, "[") {
+		return CFD{}, fmt.Errorf("cfd: %q: expected '[' starting the LHS attribute list", orig)
+	}
+	close := strings.Index(s, "]")
+	if close < 0 {
+		return CFD{}, fmt.Errorf("cfd: %q: unterminated LHS attribute list", orig)
+	}
+	lhsPart := strings.TrimSpace(s[1:close])
+	rest := strings.TrimSpace(s[close+1:])
+	if !strings.HasPrefix(rest, "->") {
+		return CFD{}, fmt.Errorf("cfd: %q: expected '->' after the LHS attribute list", orig)
+	}
+	rest = strings.TrimSpace(rest[2:])
+	comma := strings.Index(rest, ",")
+	if comma < 0 {
+		return CFD{}, fmt.Errorf("cfd: %q: expected ',' after the RHS attribute", orig)
+	}
+	rhs := strings.TrimSpace(rest[:comma])
+	patPart := strings.TrimSpace(rest[comma+1:])
+	if !strings.HasPrefix(patPart, "(") || !strings.HasSuffix(patPart, ")") {
+		return CFD{}, fmt.Errorf("cfd: %q: expected parenthesised pattern tuple", orig)
+	}
+	patPart = patPart[1 : len(patPart)-1]
+	bar := strings.Index(patPart, "||")
+	if bar < 0 {
+		return CFD{}, fmt.Errorf("cfd: %q: expected '||' separating LHS and RHS patterns", orig)
+	}
+	lhsPatPart := strings.TrimSpace(patPart[:bar])
+	rhsPat := strings.TrimSpace(patPart[bar+2:])
+	if rhsPat == "" {
+		return CFD{}, fmt.Errorf("cfd: %q: empty RHS pattern", orig)
+	}
+
+	c := CFD{RHS: rhs, RHSPattern: rhsPat}
+	if lhsPart != "" {
+		for _, a := range strings.Split(lhsPart, ",") {
+			c.LHS = append(c.LHS, strings.TrimSpace(a))
+		}
+	}
+	if lhsPatPart != "" {
+		for _, p := range strings.Split(lhsPatPart, ",") {
+			c.LHSPattern = append(c.LHSPattern, strings.TrimSpace(p))
+		}
+	}
+	if len(c.LHS) != len(c.LHSPattern) {
+		return CFD{}, fmt.Errorf("cfd: %q: %d LHS attributes but %d pattern entries", orig, len(c.LHS), len(c.LHSPattern))
+	}
+	if err := c.Validate(); err != nil {
+		return CFD{}, fmt.Errorf("cfd: %q: %w", orig, err)
+	}
+	return c, nil
+}
+
+// ParseAll parses one CFD per non-empty, non-comment line ('#' starts a
+// comment). It is the format used by the cfdclean command's rule files.
+func ParseAll(text string) ([]CFD, error) {
+	var out []CFD
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		c, err := Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// FormatAll renders CFDs one per line in the format accepted by ParseAll.
+func FormatAll(cfds []CFD) string {
+	var b strings.Builder
+	for _, c := range cfds {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,303 @@
+// Package cleaning is the data-cleaning application layer motivating the
+// paper: discovered CFDs are used as data quality rules to detect, localise
+// and suggest repairs for inconsistencies in a relation. It covers the
+// workflow of §1 of the paper (and of the repair literature it cites): mine
+// rules from a trusted sample with repro/discovery, then run Detect /
+// SuggestRepairs on the data to be cleaned.
+package cleaning
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/cfd"
+)
+
+// Violation records the tuples of a relation that violate one rule.
+type Violation struct {
+	Rule   cfd.CFD
+	Tuples []int
+}
+
+// Report is the outcome of running a set of rules against a relation.
+type Report struct {
+	// Violations holds one entry per violated rule, in rule order.
+	Violations []Violation
+	// DirtyTuples is the sorted union of all violating tuple indexes.
+	DirtyTuples []int
+	// RulesChecked is the number of rules evaluated.
+	RulesChecked int
+}
+
+// Clean reports whether no violations were found.
+func (rep *Report) Clean() bool { return len(rep.Violations) == 0 }
+
+// Detect evaluates every rule against the relation and collects the violating
+// tuples. Rules referring to constants outside the relation's active domain
+// cannot be violated (no tuple matches them) and are skipped silently; rules
+// naming unknown attributes are reported as errors.
+func Detect(rel *cfd.Relation, rules []cfd.CFD) (*Report, error) {
+	rep := &Report{RulesChecked: len(rules)}
+	dirty := make(map[int]bool)
+	known := make(map[string]bool)
+	for _, a := range rel.Attributes() {
+		known[a] = true
+	}
+	for _, rule := range rules {
+		if err := rule.Validate(); err != nil {
+			return nil, err
+		}
+		if !known[rule.RHS] {
+			return nil, fmt.Errorf("cleaning: rule %s: unknown attribute %q", rule, rule.RHS)
+		}
+		for _, a := range rule.LHS {
+			if !known[a] {
+				return nil, fmt.Errorf("cleaning: rule %s: unknown attribute %q", rule, a)
+			}
+		}
+		tuples, err := ruleViolations(rel, rule)
+		if err != nil {
+			return nil, err
+		}
+		if len(tuples) == 0 {
+			continue
+		}
+		rep.Violations = append(rep.Violations, Violation{Rule: rule, Tuples: tuples})
+		for _, t := range tuples {
+			dirty[t] = true
+		}
+	}
+	rep.DirtyTuples = make([]int, 0, len(dirty))
+	for t := range dirty {
+		rep.DirtyTuples = append(rep.DirtyTuples, t)
+	}
+	sort.Ints(rep.DirtyTuples)
+	return rep, nil
+}
+
+// ruleViolations returns the tuples violating one rule, handling constants
+// that do not occur in the relation's active domain:
+//
+//   - a left-hand-side constant outside the domain means no tuple matches the
+//     rule, so nothing can violate it;
+//   - a right-hand-side constant outside the domain (for a constant-RHS rule)
+//     means every tuple matching the left-hand side violates the rule, since
+//     none of them can possibly carry that value.
+func ruleViolations(rel *cfd.Relation, rule cfd.CFD) ([]int, error) {
+	tuples, err := rel.Violations(rule)
+	if err == nil {
+		return tuples, nil
+	}
+	// Distinguish the failing side by retrying with a wildcard right-hand side.
+	lhsOnly := rule
+	lhsOnly.RHSPattern = cfd.Wildcard
+	if _, lhsErr := rel.Violations(lhsOnly); lhsErr != nil {
+		// A LHS constant is outside the active domain: the rule matches nothing.
+		return nil, nil
+	}
+	if rule.RHSPattern == cfd.Wildcard {
+		// The original error did not come from a constant at all.
+		return nil, err
+	}
+	return matchingLHS(rel, rule), nil
+}
+
+// matchingLHS returns the tuples whose values match every constant of the
+// rule's left-hand-side pattern.
+func matchingLHS(rel *cfd.Relation, rule cfd.CFD) []int {
+	attrs := rel.Attributes()
+	index := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		index[a] = i
+	}
+	var out []int
+	for t := 0; t < rel.Size(); t++ {
+		row := rel.Row(t)
+		ok := true
+		for i, a := range rule.LHS {
+			if rule.LHSPattern[i] == cfd.Wildcard {
+				continue
+			}
+			if row[index[a]] != rule.LHSPattern[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// TupleReport lists the rules violated by one tuple.
+type TupleReport struct {
+	Tuple int
+	Rules []cfd.CFD
+}
+
+// ByTuple regroups a report by tuple, which is the view a human reviewer or a
+// repair algorithm works from.
+func ByTuple(rep *Report) []TupleReport {
+	m := make(map[int][]cfd.CFD)
+	for _, v := range rep.Violations {
+		for _, t := range v.Tuples {
+			m[t] = append(m[t], v.Rule)
+		}
+	}
+	out := make([]TupleReport, 0, len(m))
+	for t, rules := range m {
+		out = append(out, TupleReport{Tuple: t, Rules: rules})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tuple < out[j].Tuple })
+	return out
+}
+
+// Suspects returns the tuples most likely to be erroneous under the rules:
+// tuples that violate a constant-RHS rule on their own, plus tuples holding a
+// minority right-hand-side value within their left-hand-side group under a
+// variable rule. This is a sharper signal than Report.DirtyTuples, which
+// contains every tuple involved in any violating pair (for a variable rule a
+// single wrong tuple drags its whole group in).
+func Suspects(rel *cfd.Relation, rules []cfd.CFD) ([]int, error) {
+	repairs, err := SuggestRepairs(rel, rules)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[int]bool)
+	for _, rp := range repairs {
+		set[rp.Tuple] = true
+	}
+	out := make([]int, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Repair is a suggested single-attribute correction for one tuple.
+type Repair struct {
+	Tuple     int
+	Attribute string
+	Current   string
+	Suggested string
+	Rule      cfd.CFD
+}
+
+// SuggestRepairs proposes value corrections for tuples that violate the rules:
+//
+//   - for a rule with a constant right-hand side, a violating tuple's RHS value
+//     is corrected to the rule's constant;
+//   - for a variable rule, a violating tuple's RHS value is corrected to the
+//     most common RHS value among the tuples sharing its left-hand side.
+//
+// The suggestions are heuristics in the spirit of the repair methods the paper
+// cites ([2], [27]); they are not guaranteed to be a minimal repair.
+func SuggestRepairs(rel *cfd.Relation, rules []cfd.CFD) ([]Repair, error) {
+	rep, err := Detect(rel, rules)
+	if err != nil {
+		return nil, err
+	}
+	var out []Repair
+	for _, v := range rep.Violations {
+		rule := v.Rule
+		if !rule.IsVariable() {
+			for _, t := range v.Tuples {
+				cur, err := rel.Value(t, rule.RHS)
+				if err != nil {
+					return nil, err
+				}
+				if cur != rule.RHSPattern {
+					out = append(out, Repair{
+						Tuple: t, Attribute: rule.RHS,
+						Current: cur, Suggested: rule.RHSPattern, Rule: rule,
+					})
+				}
+			}
+			continue
+		}
+		// Variable rule: group the violating tuples by their LHS values and
+		// suggest the majority RHS value of each group (falling back to the
+		// group's lexicographically smallest value on ties).
+		groups := make(map[string][]int)
+		for _, t := range v.Tuples {
+			key := ""
+			for _, a := range rule.LHS {
+				val, err := rel.Value(t, a)
+				if err != nil {
+					return nil, err
+				}
+				key += val + "\x00"
+			}
+			groups[key] = append(groups[key], t)
+		}
+		for _, tuples := range groups {
+			counts := make(map[string]int)
+			for _, t := range tuples {
+				val, err := rel.Value(t, rule.RHS)
+				if err != nil {
+					return nil, err
+				}
+				counts[val]++
+			}
+			best := ""
+			for val, n := range counts {
+				if best == "" || n > counts[best] || (n == counts[best] && val < best) {
+					best = val
+				}
+			}
+			for _, t := range tuples {
+				cur, _ := rel.Value(t, rule.RHS)
+				if cur != best {
+					out = append(out, Repair{
+						Tuple: t, Attribute: rule.RHS,
+						Current: cur, Suggested: best, Rule: rule,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tuple != out[j].Tuple {
+			return out[i].Tuple < out[j].Tuple
+		}
+		return out[i].Attribute < out[j].Attribute
+	})
+	return out, nil
+}
+
+// ApplyRepairs returns a copy of the relation with the suggested repairs
+// applied. When several repairs target the same tuple and attribute, the first
+// one wins.
+func ApplyRepairs(rel *cfd.Relation, repairs []Repair) *cfd.Relation {
+	attrs := rel.Attributes()
+	index := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		index[a] = i
+	}
+	patch := make(map[[2]int]string)
+	for _, rp := range repairs {
+		a, ok := index[rp.Attribute]
+		if !ok {
+			continue
+		}
+		key := [2]int{rp.Tuple, a}
+		if _, dup := patch[key]; !dup {
+			patch[key] = rp.Suggested
+		}
+	}
+	out := cfd.MustRelation(attrs...)
+	for t := 0; t < rel.Size(); t++ {
+		row := append([]string(nil), rel.Row(t)...)
+		for a := range attrs {
+			if v, ok := patch[[2]int{t, a}]; ok {
+				row[a] = v
+			}
+		}
+		if err := out.Append(row...); err != nil {
+			panic(err)
+		}
+	}
+	return out
+}

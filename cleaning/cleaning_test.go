@@ -1,0 +1,200 @@
+package cleaning_test
+
+import (
+	"testing"
+
+	"repro/cfd"
+	"repro/cleaning"
+	"repro/dataset"
+	"repro/discovery"
+)
+
+func custRules() []cfd.CFD {
+	return []cfd.CFD{
+		{LHS: []string{"AC"}, RHS: "CT", LHSPattern: []string{"131"}, RHSPattern: "EDI"},
+		cfd.NewFD([]string{"CC", "ZIP"}, "STR"),
+	}
+}
+
+func TestDetectOnCust(t *testing.T) {
+	rel := dataset.Cust()
+	rep, err := cleaning.Detect(rel, custRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("cust violates both rules; report should not be clean")
+	}
+	if rep.RulesChecked != 2 || len(rep.Violations) != 2 {
+		t.Fatalf("RulesChecked=%d Violations=%d", rep.RulesChecked, len(rep.Violations))
+	}
+	// t8 (index 7) violates the constant rule (AC -> CT, (131||EDI)).
+	foundT8 := false
+	for _, t0 := range rep.DirtyTuples {
+		if t0 == 7 {
+			foundT8 = true
+		}
+	}
+	if !foundT8 {
+		t.Errorf("t8 should be flagged dirty: %v", rep.DirtyTuples)
+	}
+	byTuple := cleaning.ByTuple(rep)
+	if len(byTuple) != len(rep.DirtyTuples) {
+		t.Errorf("ByTuple covers %d tuples, dirty set has %d", len(byTuple), len(rep.DirtyTuples))
+	}
+	for _, tr := range byTuple {
+		if len(tr.Rules) == 0 {
+			t.Errorf("tuple %d flagged with no rules", tr.Tuple)
+		}
+	}
+}
+
+func TestDetectErrorsAndSkips(t *testing.T) {
+	rel := dataset.Cust()
+	// Unknown attribute: hard error.
+	if _, err := cleaning.Detect(rel, []cfd.CFD{cfd.NewFD([]string{"BOGUS"}, "CT")}); err == nil {
+		t.Error("unknown attribute must error")
+	}
+	if _, err := cleaning.Detect(rel, []cfd.CFD{cfd.NewFD([]string{"CC"}, "BOGUS")}); err == nil {
+		t.Error("unknown RHS attribute must error")
+	}
+	// Malformed rule: hard error.
+	bad := cfd.CFD{LHS: []string{"CC"}, RHS: "CT", LHSPattern: []string{"01", "02"}, RHSPattern: "_"}
+	if _, err := cleaning.Detect(rel, []cfd.CFD{bad}); err == nil {
+		t.Error("malformed rule must error")
+	}
+	// Constant outside the active domain: the rule matches nothing and is skipped.
+	rules := []cfd.CFD{{LHS: []string{"CC"}, RHS: "CT", LHSPattern: []string{"99"}, RHSPattern: "XXX"}}
+	rep, err := cleaning.Detect(rel, rules)
+	if err != nil {
+		t.Fatalf("out-of-domain constant should be skipped, got error %v", err)
+	}
+	if !rep.Clean() {
+		t.Error("out-of-domain rule cannot be violated")
+	}
+}
+
+func TestSuggestRepairsConstantRule(t *testing.T) {
+	rel := dataset.Cust()
+	rules := []cfd.CFD{{LHS: []string{"AC"}, RHS: "CT", LHSPattern: []string{"131"}, RHSPattern: "EDI"}}
+	repairs, err := cleaning.SuggestRepairs(rel, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single-tuple violation of t8 should be repaired to the rule constant.
+	found := false
+	for _, rp := range repairs {
+		if rp.Tuple == 7 && rp.Attribute == "CT" {
+			found = true
+			if rp.Current != "UN" || rp.Suggested != "EDI" {
+				t.Errorf("repair for t8 = %+v", rp)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("expected a repair for t8, got %+v", repairs)
+	}
+	repaired := cleaning.ApplyRepairs(rel, repairs)
+	rep, err := cleaning.Detect(repaired, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Error("applying the suggested repairs should satisfy the constant rule")
+	}
+}
+
+func TestSuggestRepairsVariableRule(t *testing.T) {
+	// B should be determined by A; one of the three tuples in the a-group
+	// deviates and should be repaired to the majority value.
+	rel, err := cfd.FromRows([]string{"A", "B"}, [][]string{
+		{"a", "x"}, {"a", "x"}, {"a", "y"}, {"b", "z"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := []cfd.CFD{cfd.NewFD([]string{"A"}, "B")}
+	repairs, err := cleaning.SuggestRepairs(rel, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repairs) != 1 || repairs[0].Tuple != 2 || repairs[0].Suggested != "x" {
+		t.Fatalf("unexpected repairs: %+v", repairs)
+	}
+	repaired := cleaning.ApplyRepairs(rel, repairs)
+	rep, err := cleaning.Detect(repaired, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Error("repaired relation should satisfy the FD")
+	}
+}
+
+func TestSuspects(t *testing.T) {
+	// Under the FD A -> B, the minority tuple of the "a" group is the suspect;
+	// under the constant rule, the tuple with the wrong constant is.
+	rel, err := cfd.FromRows([]string{"A", "B"}, [][]string{
+		{"a", "x"}, {"a", "x"}, {"a", "y"}, {"b", "z"}, {"c", "w"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := []cfd.CFD{
+		cfd.NewFD([]string{"A"}, "B"),
+		{LHS: []string{"A"}, RHS: "B", LHSPattern: []string{"c"}, RHSPattern: "v"},
+	}
+	suspects, err := cleaning.Suspects(rel, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suspects) != 2 || suspects[0] != 2 || suspects[1] != 4 {
+		t.Errorf("suspects = %v, want [2 4]", suspects)
+	}
+	// The broad dirty set is larger than the suspect set.
+	rep, err := cleaning.Detect(rel, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.DirtyTuples) <= len(suspects) {
+		t.Errorf("DirtyTuples (%v) should be a superset of suspects (%v)", rep.DirtyTuples, suspects)
+	}
+}
+
+// TestEndToEndCleaningPipeline exercises the full motivating workflow of the
+// paper: discover rules on clean data, inject noise, detect the dirty tuples.
+func TestEndToEndCleaningPipeline(t *testing.T) {
+	clean, err := dataset.Tax(dataset.TaxConfig{Size: 400, Arity: 7, CF: 0.5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := discovery.FastCFD(clean, discovery.Options{Support: 8, MaxLHS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CFDs) == 0 {
+		t.Fatal("no rules discovered on clean data")
+	}
+	dirty, perturbed := dataset.InjectNoise(clean, 0.05, 7)
+	rep, err := cleaning.Detect(dirty, res.CFDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("noise injection should trigger at least one violation")
+	}
+	// At least one genuinely perturbed tuple must be caught.
+	perturbedSet := make(map[int]bool, len(perturbed))
+	for _, p := range perturbed {
+		perturbedSet[p] = true
+	}
+	caught := 0
+	for _, d := range rep.DirtyTuples {
+		if perturbedSet[d] {
+			caught++
+		}
+	}
+	if caught == 0 {
+		t.Error("no perturbed tuple was flagged by the discovered rules")
+	}
+}

@@ -1,0 +1,66 @@
+// Command cfdbench regenerates the figures of the paper's experimental study
+// (§6) and prints them as text tables.
+//
+// Usage:
+//
+//	cfdbench -fig all            # every figure at the scaled-down default size
+//	cfdbench -fig fig05          # one figure
+//	cfdbench -fig fig07 -full    # paper-scale sweep (can take hours)
+//	cfdbench -fig all -quick     # minimal smoke-test scale
+//
+// See EXPERIMENTS.md for the recorded results and their comparison with the
+// paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/experiments"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure id (fig05..fig16, ablation, datasets) or 'all'")
+		full  = flag.Bool("full", false, "run the paper-scale sweeps (hours)")
+		quick = flag.Bool("quick", false, "run the minimal smoke-test sweeps")
+		seed  = flag.Int64("seed", 1, "data generation seed")
+		out   = flag.String("o", "", "append the tables to this file instead of stdout")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Full: *full, Quick: *quick, Seed: *seed}
+	ids := experiments.IDs()
+	if *fig != "all" {
+		ids = strings.Split(*fig, ",")
+	}
+
+	var sink *os.File = os.Stdout
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		sink = f
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		figure, err := experiments.Run(id, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(sink, figure.Table())
+		fmt.Fprintf(sink, "(regenerated in %s)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cfdbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+// Command cfdclean applies CFD rules to a CSV file, reports violations, and
+// optionally suggests and applies repairs — the data-cleaning workflow that
+// motivates the paper.
+//
+// Rules either come from a rule file (one CFD per line in the paper's
+// notation, as written by cfddiscover) or are discovered on a trusted sample
+// given with -sample.
+//
+// Usage:
+//
+//	cfdclean -data dirty.csv -rules rules.txt
+//	cfdclean -data dirty.csv -sample clean.csv -support 10 -repair repaired.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/cfd"
+	"repro/cleaning"
+	"repro/dataset"
+	"repro/discovery"
+)
+
+func main() {
+	var (
+		data    = flag.String("data", "", "CSV file to check (header row required)")
+		rules   = flag.String("rules", "", "rule file with one CFD per line")
+		sample  = flag.String("sample", "", "trusted CSV sample to discover rules from (alternative to -rules)")
+		support = flag.Int("support", 10, "support threshold used when discovering rules from -sample")
+		maxLHS  = flag.Int("maxlhs", 3, "LHS bound used when discovering rules from -sample")
+		repair  = flag.String("repair", "", "write a repaired copy of the data to this CSV file")
+		verbose = flag.Bool("v", false, "list every violated rule with its tuples")
+	)
+	flag.Parse()
+
+	if *data == "" {
+		fatal(fmt.Errorf("-data is required"))
+	}
+	rel, err := dataset.LoadCSVFile(*data)
+	if err != nil {
+		fatal(err)
+	}
+	ruleSet, err := loadRules(*rules, *sample, *support, *maxLHS)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("checking %d tuples against %d rules\n", rel.Size(), len(ruleSet))
+
+	report, err := cleaning.Detect(rel, ruleSet)
+	if err != nil {
+		fatal(err)
+	}
+	if report.Clean() {
+		fmt.Println("no violations found")
+		return
+	}
+	fmt.Printf("%d rules violated, %d tuples flagged dirty\n", len(report.Violations), len(report.DirtyTuples))
+	if *verbose {
+		for _, v := range report.Violations {
+			fmt.Printf("  %s  -> tuples %v\n", v.Rule, v.Tuples)
+		}
+	}
+	repairs, err := cleaning.SuggestRepairs(rel, ruleSet)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d repairs suggested\n", len(repairs))
+	if *verbose {
+		for _, rp := range repairs {
+			fmt.Printf("  tuple %d: %s %q -> %q (rule %s)\n", rp.Tuple, rp.Attribute, rp.Current, rp.Suggested, rp.Rule)
+		}
+	}
+	if *repair != "" {
+		repaired := cleaning.ApplyRepairs(rel, repairs)
+		if err := dataset.SaveCSVFile(*repair, repaired); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote repaired data to %s\n", *repair)
+	}
+}
+
+func loadRules(rulesPath, samplePath string, support, maxLHS int) ([]cfd.CFD, error) {
+	switch {
+	case rulesPath != "":
+		text, err := os.ReadFile(rulesPath)
+		if err != nil {
+			return nil, err
+		}
+		// Rule files written by cfddiscover start with a '#' summary line, which
+		// ParseAll skips as a comment.
+		return cfd.ParseAll(strings.TrimSpace(string(text)))
+	case samplePath != "":
+		sampleRel, err := dataset.LoadCSVFile(samplePath)
+		if err != nil {
+			return nil, err
+		}
+		res, err := discovery.FastCFD(sampleRel, discovery.Options{Support: support, MaxLHS: maxLHS})
+		if err != nil {
+			return nil, err
+		}
+		return res.CFDs, nil
+	default:
+		return nil, fmt.Errorf("either -rules or -sample is required")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cfdclean:", err)
+	os.Exit(1)
+}

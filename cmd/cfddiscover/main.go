@@ -1,0 +1,88 @@
+// Command cfddiscover discovers conditional functional dependencies in a CSV
+// file using any of the paper's algorithms.
+//
+// Usage:
+//
+//	cfddiscover -input data.csv -algorithm fastcfd -support 10
+//	cfddiscover -demo -algorithm ctane -support 2
+//
+// The input CSV must have a header row naming the attributes. With -demo the
+// built-in cust relation of Fig. 1 of the paper is used instead of a file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/cfd"
+	"repro/dataset"
+	"repro/discovery"
+)
+
+func main() {
+	var (
+		input     = flag.String("input", "", "input CSV file with a header row")
+		demo      = flag.Bool("demo", false, "use the built-in cust relation of Fig. 1 instead of -input")
+		algorithm = flag.String("algorithm", "fastcfd", "algorithm: cfdminer, ctane, fastcfd, naivefast, tane, fastfd, brute")
+		support   = flag.Int("support", 2, "support threshold k (k-frequent CFDs only)")
+		maxLHS    = flag.Int("maxlhs", 0, "bound on the number of LHS attributes (0 = unbounded)")
+		varOnly   = flag.Bool("variable-only", false, "report variable CFDs only")
+		tableau   = flag.Bool("tableau", false, "group the discovered CFDs into pattern tableaux per embedded FD")
+		output    = flag.String("o", "", "write the discovered CFDs to this file instead of stdout")
+	)
+	flag.Parse()
+
+	rel, err := loadRelation(*input, *demo)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := discovery.Discover(discovery.Algorithm(*algorithm), rel, discovery.Options{
+		Support:      *support,
+		MaxLHS:       *maxLHS,
+		VariableOnly: *varOnly,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	var body strings.Builder
+	fmt.Fprintf(&body, "# %s on %d tuples x %d attributes, k=%d: %d CFDs (%d constant, %d variable) in %s\n",
+		res.Algorithm, rel.Size(), rel.Arity(), res.Support, len(res.CFDs), res.Constant, res.Variable, res.Elapsed.Round(1e6))
+	if *tableau {
+		for _, t := range cfd.BuildTableaux(res.CFDs) {
+			body.WriteString(t.String())
+			body.WriteByte('\n')
+		}
+	} else {
+		sorted := append([]cfd.CFD(nil), res.CFDs...)
+		cfd.SortCFDs(sorted)
+		body.WriteString(cfd.FormatAll(sorted))
+	}
+
+	if *output != "" {
+		if err := os.WriteFile(*output, []byte(body.String()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d CFDs to %s\n", len(res.CFDs), *output)
+		return
+	}
+	fmt.Print(body.String())
+}
+
+func loadRelation(input string, demo bool) (*cfd.Relation, error) {
+	switch {
+	case demo:
+		return dataset.Cust(), nil
+	case input != "":
+		return dataset.LoadCSVFile(input)
+	default:
+		return nil, fmt.Errorf("either -input or -demo is required")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cfddiscover:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// Command cfdgen generates the synthetic data sets used by the reproduction's
+// experiments and writes them as CSV.
+//
+// Usage:
+//
+//	cfdgen -dataset tax -size 20000 -arity 9 -cf 0.7 -o tax.csv
+//	cfdgen -dataset wbc -o wbc.csv
+//	cfdgen -dataset chess -size 5000 -o chess.csv
+//	cfdgen -dataset cust -o cust.csv
+//
+// With -noise a copy with randomly perturbed values is produced, which the
+// cfdclean command (and the datacleaning example) can then analyse.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/cfd"
+	"repro/dataset"
+)
+
+func main() {
+	var (
+		name   = flag.String("dataset", "tax", "data set: tax, wbc, chess, cust")
+		size   = flag.Int("size", 10000, "number of tuples (tax, wbc, chess); 0 selects the original UCI size")
+		arity  = flag.Int("arity", 9, "number of attributes (tax only, 7-64)")
+		cf     = flag.Float64("cf", 0.7, "correlation factor in (0,1] (tax only)")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		noise  = flag.Float64("noise", 0, "per-tuple probability of perturbing one attribute value")
+		output = flag.String("o", "", "output CSV file (default stdout)")
+	)
+	flag.Parse()
+
+	rel, err := build(*name, *size, *arity, *cf, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *noise > 0 {
+		dirty, perturbed := dataset.InjectNoise(rel, *noise, *seed+1)
+		fmt.Fprintf(os.Stderr, "cfdgen: perturbed %d of %d tuples\n", len(perturbed), rel.Size())
+		rel = dirty
+	}
+	if *output == "" {
+		if err := dataset.WriteCSV(os.Stdout, rel); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := dataset.SaveCSVFile(*output, rel); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d tuples x %d attributes to %s\n", rel.Size(), rel.Arity(), *output)
+}
+
+func build(name string, size, arity int, cf float64, seed int64) (*cfd.Relation, error) {
+	switch name {
+	case "tax":
+		return dataset.Tax(dataset.TaxConfig{Size: size, Arity: arity, CF: cf, Seed: seed})
+	case "wbc":
+		return dataset.WisconsinLike(size, seed), nil
+	case "chess":
+		return dataset.ChessLike(size, seed), nil
+	case "cust":
+		return dataset.Cust(), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want tax, wbc, chess or cust)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cfdgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+// Package dataset provides the data substrate of the reproduction: CSV
+// loading and saving, the synthetic Tax generator parameterised by ARITY,
+// DBSIZE and the correlation factor CF (§6.1 of the paper), synthetic
+// stand-ins for the UCI Wisconsin breast cancer and Chess data sets used in
+// the paper's real-data experiments, and noise injection for the data-cleaning
+// examples.
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/cfd"
+)
+
+// ReadCSV reads a relation from CSV. When header is true the first record
+// provides the attribute names; otherwise attributes are named A1, A2, ...
+func ReadCSV(r io.Reader, header bool) (*cfd.Relation, error) {
+	reader := csv.NewReader(r)
+	reader.FieldsPerRecord = -1
+	records, err := reader.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: empty csv input")
+	}
+	var names []string
+	var rows [][]string
+	if header {
+		names = records[0]
+		rows = records[1:]
+	} else {
+		names = make([]string, len(records[0]))
+		for i := range names {
+			names[i] = fmt.Sprintf("A%d", i+1)
+		}
+		rows = records
+	}
+	rel, err := cfd.NewRelation(names...)
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range rows {
+		if len(row) != len(names) {
+			return nil, fmt.Errorf("dataset: row %d has %d fields, want %d", i+1, len(row), len(names))
+		}
+		if err := rel.Append(row...); err != nil {
+			return nil, fmt.Errorf("dataset: row %d: %w", i+1, err)
+		}
+	}
+	return rel, nil
+}
+
+// WriteCSV writes the relation as CSV with a header row.
+func WriteCSV(w io.Writer, rel *cfd.Relation) error {
+	writer := csv.NewWriter(w)
+	if err := writer.Write(rel.Attributes()); err != nil {
+		return fmt.Errorf("dataset: writing csv header: %w", err)
+	}
+	for i := 0; i < rel.Size(); i++ {
+		if err := writer.Write(rel.Row(i)); err != nil {
+			return fmt.Errorf("dataset: writing csv row %d: %w", i, err)
+		}
+	}
+	writer.Flush()
+	return writer.Error()
+}
+
+// LoadCSVFile reads a relation from a CSV file with a header row.
+func LoadCSVFile(path string) (*cfd.Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, true)
+}
+
+// SaveCSVFile writes a relation to a CSV file with a header row.
+func SaveCSVFile(path string, rel *cfd.Relation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, rel); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Cust returns the 8-tuple cust relation of Fig. 1 of the paper, which the
+// quickstart example and several tests use.
+func Cust() *cfd.Relation {
+	rel := cfd.MustRelation("CC", "AC", "PN", "NM", "STR", "CT", "ZIP")
+	rows := [][]string{
+		{"01", "908", "1111111", "Mike", "Tree Ave.", "MH", "07974"},
+		{"01", "908", "1111111", "Rick", "Tree Ave.", "MH", "07974"},
+		{"01", "212", "2222222", "Joe", "5th Ave", "NYC", "01202"},
+		{"01", "908", "4444444", "Jim", "Elm Str.", "MH", "07974"},
+		{"44", "131", "3333333", "Ben", "High St.", "EDI", "EH4 1DT"},
+		{"44", "131", "4444444", "Ian", "High St.", "EDI", "EH4 1DT"},
+		{"44", "908", "4444444", "Ian", "Port PI", "MH", "01202"},
+		{"01", "131", "2222222", "Sean", "3rd Str.", "UN", "01202"},
+	}
+	for _, row := range rows {
+		if err := rel.Append(row...); err != nil {
+			panic(err)
+		}
+	}
+	return rel
+}

@@ -1,0 +1,63 @@
+package dataset
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/cfd"
+)
+
+// InjectNoise returns a copy of the relation in which, with probability rate,
+// each tuple has one attribute value replaced by a different value drawn from
+// that attribute's active domain, together with the sorted indexes of the
+// perturbed tuples. It is used by the data-cleaning example: rules discovered
+// on the clean relation are applied to the noisy copy to localise errors.
+func InjectNoise(rel *cfd.Relation, rate float64, seed int64) (*cfd.Relation, []int) {
+	attrs := rel.Attributes()
+	out := cfd.MustRelation(attrs...)
+	rng := rand.New(rand.NewSource(seed))
+
+	// Collect the active domain of every attribute up front.
+	domains := make([][]string, len(attrs))
+	for i := 0; i < rel.Size(); i++ {
+		row := rel.Row(i)
+		for a, v := range row {
+			domains[a] = append(domains[a], v)
+		}
+	}
+	for a := range domains {
+		seen := make(map[string]bool)
+		uniq := domains[a][:0]
+		for _, v := range domains[a] {
+			if !seen[v] {
+				seen[v] = true
+				uniq = append(uniq, v)
+			}
+		}
+		sort.Strings(uniq)
+		domains[a] = uniq
+	}
+
+	var dirty []int
+	for i := 0; i < rel.Size(); i++ {
+		row := append([]string(nil), rel.Row(i)...)
+		if rng.Float64() < rate {
+			a := rng.Intn(len(attrs))
+			if len(domains[a]) > 1 {
+				cur := row[a]
+				for {
+					cand := domains[a][rng.Intn(len(domains[a]))]
+					if cand != cur {
+						row[a] = cand
+						break
+					}
+				}
+				dirty = append(dirty, i)
+			}
+		}
+		if err := out.Append(row...); err != nil {
+			panic(err)
+		}
+	}
+	return out, dirty
+}

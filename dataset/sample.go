@@ -1,0 +1,84 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/cfd"
+)
+
+// Sample returns a uniform random sample of the relation containing roughly
+// fraction·|r| tuples (at least one when the relation is non-empty and the
+// fraction is positive). Sampling is without replacement and preserves the
+// original tuple order. The paper's §8 discusses sampling as the way to scale
+// discovery to relations that are both wide and large; rules discovered on a
+// sample can then be validated on the full relation with cfd.Relation.Satisfies.
+func Sample(rel *cfd.Relation, fraction float64, seed int64) (*cfd.Relation, error) {
+	if fraction <= 0 || fraction > 1 {
+		return nil, fmt.Errorf("dataset: Sample: fraction must be in (0, 1], got %g", fraction)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := cfd.MustRelation(rel.Attributes()...)
+	picked := 0
+	for i := 0; i < rel.Size(); i++ {
+		if rng.Float64() < fraction {
+			if err := out.Append(rel.Row(i)...); err != nil {
+				return nil, err
+			}
+			picked++
+		}
+	}
+	if picked == 0 && rel.Size() > 0 {
+		if err := out.Append(rel.Row(rng.Intn(rel.Size()))...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// StratifiedSample returns a random sample that preserves, per distinct value
+// of the given attribute, the value's share of the relation (each stratum
+// contributes ceil(fraction·|stratum|) tuples). This is the stratified
+// sampling the paper's §8 proposes for keeping rare-but-meaningful patterns in
+// the sample.
+func StratifiedSample(rel *cfd.Relation, attribute string, fraction float64, seed int64) (*cfd.Relation, error) {
+	if fraction <= 0 || fraction > 1 {
+		return nil, fmt.Errorf("dataset: StratifiedSample: fraction must be in (0, 1], got %g", fraction)
+	}
+	attrIdx := -1
+	for i, a := range rel.Attributes() {
+		if a == attribute {
+			attrIdx = i
+		}
+	}
+	if attrIdx < 0 {
+		return nil, fmt.Errorf("dataset: StratifiedSample: unknown attribute %q", attribute)
+	}
+	// Group tuple indexes by stratum.
+	strata := make(map[string][]int)
+	for i := 0; i < rel.Size(); i++ {
+		v := rel.Row(i)[attrIdx]
+		strata[v] = append(strata[v], i)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	keep := make(map[int]bool)
+	for _, tuples := range strata {
+		want := int(float64(len(tuples))*fraction + 0.999999)
+		if want > len(tuples) {
+			want = len(tuples)
+		}
+		perm := rng.Perm(len(tuples))
+		for _, p := range perm[:want] {
+			keep[tuples[p]] = true
+		}
+	}
+	out := cfd.MustRelation(rel.Attributes()...)
+	for i := 0; i < rel.Size(); i++ {
+		if keep[i] {
+			if err := out.Append(rel.Row(i)...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

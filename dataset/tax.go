@@ -1,0 +1,190 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"repro/cfd"
+)
+
+// TaxConfig parameterises the synthetic Tax generator used by the scalability
+// experiments of §6: the number of tuples (DBSIZE), the number of attributes
+// (ARITY, 7–64) and the correlation factor CF, which scales the active-domain
+// sizes of the attributes — smaller CF means fewer distinct values, more
+// frequent patterns, and therefore more work for the levelwise algorithm, as
+// in Fig. 10 of the paper.
+type TaxConfig struct {
+	// Size is DBSIZE, the number of tuples. Must be positive.
+	Size int
+	// Arity is the number of attributes, between 7 and 64. The first attributes
+	// follow the cust schema of Fig. 1 extended with tax fields; beyond those,
+	// extension attributes EXTnn are added in correlated pairs so that higher
+	// arities still contain discoverable dependencies.
+	Arity int
+	// CF is the correlation factor in (0, 1]; 0 defaults to 0.7 as in the paper.
+	CF float64
+	// Seed makes generation deterministic; the same config always yields the
+	// same relation.
+	Seed int64
+}
+
+// taxBaseAttrs is the fixed prefix of the Tax schema.
+var taxBaseAttrs = []string{"CC", "AC", "PN", "NM", "STR", "CT", "ZIP", "ST", "SAL", "TAX", "MAR"}
+
+// Tax generates a synthetic tax-record relation with the embedded
+// dependencies of the paper's running example: AC determines CT, ZIP
+// determines CT and ST, ST determines TAX, the street attribute depends on
+// ZIP conditionally on the country code, and extension attributes come in
+// (independent, dependent) pairs.
+func Tax(cfg TaxConfig) (*cfd.Relation, error) {
+	if cfg.Size <= 0 {
+		return nil, fmt.Errorf("dataset: Tax: Size must be positive, got %d", cfg.Size)
+	}
+	if cfg.Arity == 0 {
+		cfg.Arity = 7
+	}
+	if cfg.Arity < 7 || cfg.Arity > 64 {
+		return nil, fmt.Errorf("dataset: Tax: Arity must be between 7 and 64, got %d", cfg.Arity)
+	}
+	cf := cfg.CF
+	if cf <= 0 {
+		cf = 0.7
+	}
+	if cf > 1 {
+		return nil, fmt.Errorf("dataset: Tax: CF must be in (0, 1], got %g", cf)
+	}
+
+	attrs := make([]string, 0, cfg.Arity)
+	for i := 0; i < cfg.Arity && i < len(taxBaseAttrs); i++ {
+		attrs = append(attrs, taxBaseAttrs[i])
+	}
+	for i := len(attrs); i < cfg.Arity; i++ {
+		attrs = append(attrs, fmt.Sprintf("EXT%02d", i-len(taxBaseAttrs)+1))
+	}
+	rel, err := cfd.NewRelation(attrs...)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := taxDomains(cfg.Size, cf)
+
+	row := make([]string, cfg.Arity)
+	for t := 0; t < cfg.Size; t++ {
+		full := g.tuple(rng, cfg.Arity, len(taxBaseAttrs))
+		copy(row, full[:cfg.Arity])
+		if err := rel.Append(row...); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// taxGen holds the derived domain sizes of one generator instance.
+type taxGen struct {
+	nAC, nCT, nZIP, nPN, nNM, nSAL, nST int
+	zipPerCity                          int
+	extDomains                          []int
+}
+
+// taxDomains derives per-attribute domain sizes from DBSIZE and CF. The
+// high-cardinality attributes (PN, NM, ZIP) scale with CF·DBSIZE as described
+// in §6.1; the categorical attributes scale with CF alone.
+func taxDomains(size int, cf float64) *taxGen {
+	g := &taxGen{
+		nAC:  maxInt(3, int(cf*60)),
+		nPN:  maxInt(10, int(cf*float64(size))),
+		nNM:  maxInt(8, int(cf*float64(size)/2)),
+		nZIP: maxInt(6, int(cf*float64(size)/4)),
+		nSAL: maxInt(10, int(cf*400)),
+	}
+	g.nCT = maxInt(2, g.nAC/2)
+	g.nST = maxInt(2, g.nCT/3)
+	g.zipPerCity = maxInt(1, g.nZIP/g.nCT)
+	// Extension attributes cycle through a few characteristic domain sizes, all
+	// scaled by CF. They are deliberately medium-to-high cardinality so that
+	// widening the schema grows the search space without flooding the output
+	// with constant patterns.
+	for _, base := range []int{30, 120, 500, 2000} {
+		g.extDomains = append(g.extDomains, maxInt(4, int(cf*float64(base))))
+	}
+	return g
+}
+
+// tuple draws one full-width tuple (base attributes plus as many extension
+// attributes as needed).
+func (g *taxGen) tuple(rng *rand.Rand, arity, baseLen int) []string {
+	// Country code: 70% US (01), 30% UK (44).
+	cc := "01"
+	if rng.Float64() < 0.3 {
+		cc = "44"
+	}
+	ac := skewed(rng, g.nAC)
+	ct := ac % g.nCT // AC -> CT
+	zip := ct*g.zipPerCity + skewed(rng, g.zipPerCity)
+	st := ct % g.nST // CT -> ST
+	pn := skewed(rng, g.nPN)
+	nm := skewed(rng, g.nNM)
+	// Street: a function of ZIP for UK customers (the phi0 pattern of the
+	// paper); for US customers it occasionally deviates, so [ZIP] -> STR holds
+	// only conditionally on CC = 44.
+	str := zip * 2
+	if cc == "01" && rng.Float64() < 0.4 {
+		str = zip*2 + 1 + rng.Intn(3)
+	}
+	sal := skewed(rng, g.nSAL)
+	tax := (st*7 + 3) % 10 // ST -> TAX
+	mar := rng.Intn(2)
+
+	out := make([]string, 0, arity)
+	out = append(out,
+		cc,
+		"A"+strconv.Itoa(ac),
+		"P"+strconv.Itoa(pn),
+		"N"+strconv.Itoa(nm),
+		"S"+strconv.Itoa(str),
+		"C"+strconv.Itoa(ct),
+		"Z"+strconv.Itoa(zip),
+		"ST"+strconv.Itoa(st),
+		strconv.Itoa(sal),
+		"T"+strconv.Itoa(tax),
+		strconv.Itoa(mar),
+	)
+	// Extension attributes come in pairs: an independent driver followed by an
+	// attribute functionally determined by it, so every added pair contributes
+	// discoverable dependencies at higher arities.
+	driver := 0
+	for i := baseLen; i < arity; i++ {
+		k := i - baseLen
+		dom := g.extDomains[(k/2)%len(g.extDomains)]
+		if k%2 == 0 {
+			driver = skewed(rng, dom)
+			out = append(out, "E"+strconv.Itoa(driver))
+		} else {
+			out = append(out, "F"+strconv.Itoa((driver*7+1)%dom))
+		}
+	}
+	return out
+}
+
+// skewed draws an integer in [0, n) with a quadratic skew towards small
+// values, so that even high-cardinality attributes have a few frequent values.
+func skewed(rng *rand.Rand, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	u := rng.Float64()
+	v := int(float64(n) * u * u)
+	if v >= n {
+		v = n - 1
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

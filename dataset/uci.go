@@ -1,0 +1,157 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"repro/cfd"
+)
+
+// WBCSize is the number of tuples of the UCI Wisconsin breast cancer data set
+// the paper evaluates on (699 tuples over 11 attributes).
+const WBCSize = 699
+
+// ChessSize is the number of tuples of the UCI Chess (king-rook vs king) data
+// set the paper evaluates on (28 056 tuples over 7 attributes).
+const ChessSize = 28056
+
+// wbcAttrs mirrors the schema of the UCI Wisconsin breast cancer data set.
+var wbcAttrs = []string{
+	"ID", "ClumpThickness", "CellSizeUniformity", "CellShapeUniformity",
+	"MarginalAdhesion", "EpithelialCellSize", "BareNuclei", "BlandChromatin",
+	"NormalNucleoli", "Mitoses", "Class",
+}
+
+// WisconsinLike synthesises a relation with the shape of the UCI Wisconsin
+// breast cancer data set: the same arity (11), the same per-attribute domain
+// sizes (cytology features graded 1–10, a binary class, a high-cardinality
+// sample identifier) and correlated features so that conditional dependencies
+// exist. The real data set cannot be redistributed with this repository, and
+// this module builds offline; the synthesiser preserves the properties that
+// drive the paper's Fig. 11/14 experiments (arity, tuple count, domain sizes
+// and frequent-pattern density). Pass size <= 0 for the original 699 tuples.
+func WisconsinLike(size int, seed int64) *cfd.Relation {
+	if size <= 0 {
+		size = WBCSize
+	}
+	rel := cfd.MustRelation(wbcAttrs...)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < size; i++ {
+		// Bimodal severity: roughly 65% benign cases with low feature grades.
+		var severity float64
+		benign := rng.Float64() < 0.65
+		if benign {
+			severity = 0.12 * rng.Float64()
+		} else {
+			severity = 0.45 + 0.5*rng.Float64()
+		}
+		grade := func(noise float64) int {
+			g := 1 + int(severity*9+noise*rng.Float64()*3)
+			if g < 1 {
+				g = 1
+			}
+			if g > 10 {
+				g = 10
+			}
+			return g
+		}
+		clump := grade(1)
+		sizeU := grade(1)
+		shapeU := sizeU // CellShapeUniformity tracks CellSizeUniformity exactly: an embedded FD.
+		adhesion := grade(1)
+		epith := grade(1)
+		nuclei := grade(1.5)
+		chromatin := grade(1)
+		nucleoli := grade(1.5)
+		mitoses := 1
+		if severity > 0.5 && rng.Float64() < 0.4 {
+			mitoses = grade(2)
+		}
+		// The class is a deterministic function of two features, giving the
+		// data set the conditional rules the miners should find.
+		class := 2 // benign
+		if nuclei >= 5 || (clump >= 7 && sizeU >= 4) {
+			class = 4 // malignant
+		}
+		row := []string{
+			strconv.Itoa(1000000 + i),
+			strconv.Itoa(clump), strconv.Itoa(sizeU), strconv.Itoa(shapeU),
+			strconv.Itoa(adhesion), strconv.Itoa(epith), strconv.Itoa(nuclei),
+			strconv.Itoa(chromatin), strconv.Itoa(nucleoli), strconv.Itoa(mitoses),
+			strconv.Itoa(class),
+		}
+		if err := rel.Append(row...); err != nil {
+			panic(err)
+		}
+	}
+	return rel
+}
+
+// chessAttrs mirrors the schema of the UCI Chess (KRK) endgame data set.
+var chessAttrs = []string{"WKf", "WKr", "WRf", "WRr", "BKf", "BKr", "Depth"}
+
+// ChessLike synthesises a relation with the shape of the UCI Chess
+// (king-rook versus king) endgame data set: 6 position attributes with domain
+// size 8 and a depth-to-win class with 18 values that is a deterministic
+// function of the position, so the embedded FD and its conditional refinements
+// are discoverable. Pass size <= 0 for the original 28 056 tuples.
+func ChessLike(size int, seed int64) *cfd.Relation {
+	if size <= 0 {
+		size = ChessSize
+	}
+	rel := cfd.MustRelation(chessAttrs...)
+	rng := rand.New(rand.NewSource(seed))
+	files := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for i := 0; i < size; i++ {
+		wkf, wkr := rng.Intn(8), rng.Intn(8)
+		wrf, wrr := rng.Intn(8), rng.Intn(8)
+		bkf, bkr := rng.Intn(8), rng.Intn(8)
+		row := []string{
+			files[wkf], strconv.Itoa(wkr + 1),
+			files[wrf], strconv.Itoa(wrr + 1),
+			files[bkf], strconv.Itoa(bkr + 1),
+			chessDepth(wkf, wkr, wrf, wrr, bkf, bkr),
+		}
+		if err := rel.Append(row...); err != nil {
+			panic(err)
+		}
+	}
+	return rel
+}
+
+// chessDepth is a deterministic depth-to-win classifier of a KRK position: a
+// stand-in for the true optimal-play depth with the same range ("draw" plus
+// 0–16 moves) and a similar dependence on king distance and rook placement.
+func chessDepth(wkf, wkr, wrf, wrr, bkf, bkr int) string {
+	// Positions where the black king attacks the rook while the white king is
+	// far away are labelled draws, as a crude stand-in for stalemate/capture.
+	if absInt(bkf-wrf) <= 1 && absInt(bkr-wrr) <= 1 && absInt(bkf-wkf)+absInt(bkr-wkr) > 3 {
+		return "draw"
+	}
+	kingDist := absInt(wkf-bkf) + absInt(wkr-bkr)
+	edgeDist := minInt(minInt(bkf, 7-bkf), minInt(bkr, 7-bkr))
+	rookCut := 0
+	if wrf == bkf || wrr == bkr {
+		rookCut = 2
+	}
+	depth := kingDist + 2*edgeDist + rookCut
+	if depth > 16 {
+		depth = 16
+	}
+	return fmt.Sprintf("d%d", depth)
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,164 @@
+// Package discovery exposes the CFD discovery algorithms of the paper behind a
+// single facade: CFDMiner for constant CFDs (§3), CTANE (§4) and FastCFD /
+// NaiveFast (§5) for general CFDs, plus the classical FD baselines TANE and
+// FastFD they extend, and a brute-force oracle for testing.
+//
+// All functions take a *cfd.Relation and return a *Result whose CFDs use the
+// public string representation.
+package discovery
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/cfd"
+	"repro/internal/bruteforce"
+	"repro/internal/cfdminer"
+	"repro/internal/core"
+	"repro/internal/ctane"
+	"repro/internal/diffset"
+	"repro/internal/fastcfd"
+	"repro/internal/fastfd"
+	"repro/internal/tane"
+)
+
+// Algorithm names a discovery algorithm.
+type Algorithm string
+
+// The available algorithms.
+const (
+	AlgCFDMiner  Algorithm = "cfdminer"  // constant CFDs only (§3)
+	AlgCTANE     Algorithm = "ctane"     // levelwise general CFD discovery (§4)
+	AlgFastCFD   Algorithm = "fastcfd"   // depth-first general CFD discovery with the closed-item-set optimisation (§5)
+	AlgNaiveFast Algorithm = "naivefast" // FastCFD with partition-based difference sets (§5.4)
+	AlgTANE      Algorithm = "tane"      // classical FD discovery baseline
+	AlgFastFD    Algorithm = "fastfd"    // classical depth-first FD discovery baseline
+	AlgBrute     Algorithm = "brute"     // exhaustive oracle (tiny inputs only)
+)
+
+// Algorithms lists every supported algorithm name, in a stable order.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgCFDMiner, AlgCTANE, AlgFastCFD, AlgNaiveFast, AlgTANE, AlgFastFD, AlgBrute}
+}
+
+// Options configures a discovery run.
+type Options struct {
+	// Support is the threshold k: only k-frequent CFDs are reported. Values
+	// below 1 are treated as 1. Ignored by the FD baselines.
+	Support int
+	// MaxLHS, when positive, bounds the number of attributes on the left-hand
+	// side of reported CFDs (supported by CTANE, FastCFD and NaiveFast).
+	MaxLHS int
+	// VariableOnly suppresses constant CFDs (FastCFD/NaiveFast only); the paper
+	// uses this split when reporting CFD counts.
+	VariableOnly bool
+	// DisableItemsetOptimisation turns off FastCFD's §5.5 optimisation of taking
+	// constant CFDs from CFDMiner, producing them inside FindMin instead.
+	DisableItemsetOptimisation bool
+	// Parallel runs FastCFD/NaiveFast's per-attribute searches on all available
+	// CPUs. The discovered cover is identical to a sequential run.
+	Parallel bool
+}
+
+// workers translates the Parallel flag into a worker count.
+func (o Options) workers() int {
+	if !o.Parallel {
+		return 0
+	}
+	return runtime.NumCPU()
+}
+
+func (o Options) support() int {
+	if o.Support < 1 {
+		return 1
+	}
+	return o.Support
+}
+
+// Result is the outcome of one discovery run.
+type Result struct {
+	Algorithm Algorithm
+	Support   int
+	CFDs      []cfd.CFD
+	// Constant and Variable count the two classes of reported CFDs.
+	Constant int
+	Variable int
+	// Elapsed is the wall-clock time of the discovery call itself (excluding
+	// data loading).
+	Elapsed time.Duration
+}
+
+// Discover runs the named algorithm on the relation.
+func Discover(alg Algorithm, r *cfd.Relation, opts Options) (*Result, error) {
+	start := time.Now()
+	var encoded []core.CFD
+	switch alg {
+	case AlgCFDMiner:
+		encoded = cfdminer.Mine(r.Encoded(), opts.support())
+	case AlgCTANE:
+		encoded = ctane.MineWithOptions(r.Encoded(), ctane.Options{K: opts.support(), MaxLHS: opts.MaxLHS})
+	case AlgFastCFD:
+		encoded = fastcfd.MineWithOptions(r.Encoded(), fastcfd.Options{
+			K:            opts.support(),
+			MaxLHS:       opts.MaxLHS,
+			VariableOnly: opts.VariableOnly,
+			UseCFDMiner:  !opts.DisableItemsetOptimisation,
+			Workers:      opts.workers(),
+		})
+	case AlgNaiveFast:
+		encoded = fastcfd.MineWithOptions(r.Encoded(), fastcfd.Options{
+			K:            opts.support(),
+			MaxLHS:       opts.MaxLHS,
+			VariableOnly: opts.VariableOnly,
+			Computer:     diffset.NewNaive(r.Encoded()),
+			UseCFDMiner:  false,
+			Workers:      opts.workers(),
+		})
+	case AlgTANE:
+		encoded = tane.Mine(r.Encoded())
+	case AlgFastFD:
+		encoded = fastfd.Mine(r.Encoded(), nil)
+	case AlgBrute:
+		encoded = bruteforce.Mine(r.Encoded(), opts.support())
+	default:
+		return nil, fmt.Errorf("discovery: unknown algorithm %q", alg)
+	}
+	elapsed := time.Since(start)
+
+	res := &Result{
+		Algorithm: alg,
+		Support:   opts.support(),
+		CFDs:      cfd.DecodeAll(r, encoded),
+		Elapsed:   elapsed,
+	}
+	res.Constant, res.Variable = cfd.CountClasses(res.CFDs)
+	return res, nil
+}
+
+// CFDMiner discovers the k-frequent minimal constant CFDs of r (§3).
+func CFDMiner(r *cfd.Relation, opts Options) (*Result, error) { return Discover(AlgCFDMiner, r, opts) }
+
+// CTANE discovers the k-frequent minimal CFDs of r levelwise (§4).
+func CTANE(r *cfd.Relation, opts Options) (*Result, error) { return Discover(AlgCTANE, r, opts) }
+
+// FastCFD discovers the k-frequent minimal CFDs of r depth-first, deriving
+// difference sets from 2-frequent closed item sets (§5).
+func FastCFD(r *cfd.Relation, opts Options) (*Result, error) { return Discover(AlgFastCFD, r, opts) }
+
+// NaiveFast is FastCFD with partition-based difference sets (§5.4).
+func NaiveFast(r *cfd.Relation, opts Options) (*Result, error) {
+	return Discover(AlgNaiveFast, r, opts)
+}
+
+// TANE discovers the minimal functional dependencies of r (baseline).
+func TANE(r *cfd.Relation, opts Options) (*Result, error) { return Discover(AlgTANE, r, opts) }
+
+// FastFD discovers the minimal functional dependencies of r depth-first
+// (baseline).
+func FastFD(r *cfd.Relation, opts Options) (*Result, error) { return Discover(AlgFastFD, r, opts) }
+
+// BruteForce enumerates every minimal k-frequent CFD exhaustively. It is a
+// test oracle: use it only on relations with a handful of attributes and small
+// active domains.
+func BruteForce(r *cfd.Relation, opts Options) (*Result, error) { return Discover(AlgBrute, r, opts) }

@@ -1,0 +1,214 @@
+package discovery_test
+
+import (
+	"testing"
+
+	"repro/cfd"
+	"repro/dataset"
+	"repro/discovery"
+)
+
+func cust() *cfd.Relation { return dataset.Cust() }
+
+func keys(cfds []cfd.CFD) map[string]bool {
+	m := make(map[string]bool, len(cfds))
+	for _, c := range cfds {
+		m[c.Normalize().String()] = true
+	}
+	return m
+}
+
+func TestDiscoverAllAlgorithmsRun(t *testing.T) {
+	r := cust()
+	for _, alg := range discovery.Algorithms() {
+		res, err := discovery.Discover(alg, r, discovery.Options{Support: 2})
+		if err != nil {
+			t.Errorf("%s: %v", alg, err)
+			continue
+		}
+		if res.Algorithm != alg || res.Support != 2 {
+			t.Errorf("%s: result metadata wrong: %+v", alg, res)
+		}
+		if res.Constant+res.Variable != len(res.CFDs) {
+			t.Errorf("%s: class counts do not add up", alg)
+		}
+		if alg != discovery.AlgTANE && alg != discovery.AlgFastFD && len(res.CFDs) == 0 {
+			t.Errorf("%s: expected some CFDs on cust", alg)
+		}
+	}
+	if _, err := discovery.Discover("nope", r, discovery.Options{}); err == nil {
+		t.Error("unknown algorithm must error")
+	}
+}
+
+// TestGeneralAlgorithmsAgree verifies that CTANE, FastCFD, NaiveFast and the
+// brute-force oracle produce the same cover through the public API.
+func TestGeneralAlgorithmsAgree(t *testing.T) {
+	r := cust()
+	for _, k := range []int{2, 3} {
+		opts := discovery.Options{Support: k}
+		ct, err := discovery.CTANE(r, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc, err := discovery.FastCFD(r, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nf, err := discovery.NaiveFast(r, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		br, err := discovery.BruteForce(r, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := keys(br.CFDs)
+		for name, res := range map[string]*discovery.Result{"ctane": ct, "fastcfd": fc, "naivefast": nf} {
+			got := keys(res.CFDs)
+			if len(got) != len(want) {
+				t.Errorf("k=%d %s: %d CFDs, brute force %d", k, name, len(got), len(want))
+			}
+			for s := range want {
+				if !got[s] {
+					t.Errorf("k=%d %s: missing %s", k, name, s)
+				}
+			}
+			for s := range got {
+				if !want[s] {
+					t.Errorf("k=%d %s: spurious %s", k, name, s)
+				}
+			}
+		}
+	}
+}
+
+// TestCFDMinerSubsetOfFastCFD verifies constant CFDs from CFDMiner are exactly
+// the constant-classified CFDs of FastCFD.
+func TestCFDMinerSubsetOfFastCFD(t *testing.T) {
+	r := cust()
+	miner, err := discovery.CFDMiner(r, discovery.Options{Support: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := discovery.FastCFD(r, discovery.Options{Support: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miner.Variable != 0 {
+		t.Errorf("CFDMiner reported %d variable CFDs", miner.Variable)
+	}
+	fullKeys := keys(full.CFDs)
+	for _, c := range miner.CFDs {
+		if !fullKeys[c.Normalize().String()] {
+			t.Errorf("CFDMiner CFD missing from FastCFD output: %s", c)
+		}
+	}
+	if miner.Constant != full.Constant {
+		t.Errorf("constant counts differ: CFDMiner %d, FastCFD %d", miner.Constant, full.Constant)
+	}
+}
+
+// TestResultsAreMinimalOnRelation checks the public minimality predicate on
+// everything discovered.
+func TestResultsAreMinimalOnRelation(t *testing.T) {
+	r := cust()
+	res, err := discovery.FastCFD(r, discovery.Options{Support: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.CFDs {
+		min, err := r.IsMinimal(c)
+		if err != nil {
+			t.Fatalf("IsMinimal(%s): %v", c, err)
+		}
+		if !min {
+			t.Errorf("non-minimal CFD reported: %s", c)
+		}
+		sup, err := r.Support(c)
+		if err != nil || sup < 2 {
+			t.Errorf("infrequent CFD reported: %s (support %d, %v)", c, sup, err)
+		}
+	}
+}
+
+func TestVariableOnlyAndMaxLHS(t *testing.T) {
+	r := cust()
+	res, err := discovery.FastCFD(r, discovery.Options{Support: 2, VariableOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Constant != 0 || res.Variable == 0 {
+		t.Errorf("VariableOnly: constant=%d variable=%d", res.Constant, res.Variable)
+	}
+	res, err = discovery.CTANE(r, discovery.Options{Support: 2, MaxLHS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.CFDs {
+		if len(c.LHS) > 1 {
+			t.Errorf("MaxLHS=1 violated: %s", c)
+		}
+	}
+}
+
+func TestFDBaselinesAgree(t *testing.T) {
+	r := cust()
+	taneRes, err := discovery.TANE(r, discovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastfdRes, err := discovery.FastFD(r, discovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := keys(taneRes.CFDs), keys(fastfdRes.CFDs)
+	if len(a) != len(b) {
+		t.Fatalf("TANE %d FDs, FastFD %d", len(a), len(b))
+	}
+	for s := range a {
+		if !b[s] {
+			t.Errorf("FastFD missing %s", s)
+		}
+	}
+	for _, c := range taneRes.CFDs {
+		if !c.IsFD() {
+			t.Errorf("TANE produced a non-FD: %s", c)
+		}
+	}
+}
+
+// TestDiscoverOnGeneratedData smoke-tests the pipeline on the synthetic Tax
+// generator at a small scale and checks the algorithms agree there too.
+func TestDiscoverOnGeneratedData(t *testing.T) {
+	rel, err := dataset.Tax(dataset.TaxConfig{Size: 400, Arity: 7, CF: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := discovery.Options{Support: 4}
+	ct, err := discovery.CTANE(rel, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := discovery.FastCFD(rel, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ct.CFDs) == 0 || len(fc.CFDs) == 0 {
+		t.Fatalf("expected CFDs on generated data: ctane=%d fastcfd=%d", len(ct.CFDs), len(fc.CFDs))
+	}
+	a, b := keys(ct.CFDs), keys(fc.CFDs)
+	if len(a) != len(b) {
+		t.Errorf("CTANE found %d CFDs, FastCFD %d", len(a), len(b))
+	}
+	for s := range a {
+		if !b[s] {
+			t.Errorf("FastCFD missing %s", s)
+		}
+	}
+	for s := range b {
+		if !a[s] {
+			t.Errorf("CTANE missing %s", s)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of "Discovering Conditional
+// Functional Dependencies" (Fan, Geerts, Li, Xiong; ICDE 2009 / TKDE 2011).
+//
+// The library is organised as follows:
+//
+//   - repro/cfd       — the public data model: relations, CFDs, pattern
+//     tableaux, satisfaction/violation/support/minimality.
+//   - repro/discovery — the discovery algorithms: CFDMiner, CTANE, FastCFD,
+//     NaiveFast, plus the TANE and FastFD baselines.
+//   - repro/dataset   — CSV IO, the synthetic Tax generator (ARITY/DBSIZE/CF)
+//     and shape-preserving stand-ins for the UCI data sets.
+//   - repro/cleaning  — CFD-based violation detection and repair suggestions.
+//   - repro/experiments — regeneration of every figure of the paper's §6.
+//
+// The root package only hosts the repository-level benchmarks
+// (bench_test.go); see README.md for a walkthrough and DESIGN.md for the
+// system inventory.
+package repro

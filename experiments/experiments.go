@@ -1,0 +1,209 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§6): the scalability sweeps over DBSIZE, ARITY, the support threshold k and
+// the correlation factor CF on synthetic Tax data (Figs. 5–10), and the
+// real-data experiments on the Wisconsin-breast-cancer- and Chess-shaped data
+// sets plus Tax (Figs. 11–16).
+//
+// Each figure is produced as a Figure value: a swept parameter on the x-axis
+// and one series per algorithm (response time in seconds) or per CFD class
+// (counts). The cmd/cfdbench command prints these tables and bench_test.go
+// exercises representative points as Go benchmarks.
+//
+// Scale: by default the sweeps are scaled down from the paper's testbed sizes
+// so that the whole suite runs on a laptop in minutes; Config.Full selects the
+// paper-scale parameters (which can take hours, as they did in the paper), and
+// Config.Quick selects a minimal smoke-test scale.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/cfd"
+	"repro/discovery"
+)
+
+// Config controls the scale of the experiment sweeps.
+type Config struct {
+	// Full selects the paper-scale parameters (DBSIZE up to 1M, ARITY up to 31,
+	// the full UCI data set sizes). Expect multi-hour runs, as in the paper.
+	Full bool
+	// Quick selects a minimal scale for smoke tests and Go benchmarks.
+	Quick bool
+	// Seed makes data generation deterministic (default 1).
+	Seed int64
+}
+
+func (c Config) seed() int64 {
+	if c.Seed == 0 {
+		return 1
+	}
+	return c.Seed
+}
+
+// Point is one x-position of a figure: the swept parameter's value and the
+// measured series at that position. Missing series (an algorithm skipped at
+// that scale) are absent from the map.
+type Point struct {
+	X      string
+	Series map[string]float64
+}
+
+// Figure is one reproduced figure of the paper.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []string
+	Points []Point
+}
+
+// Runner produces a figure under a scale configuration.
+type Runner func(Config) (*Figure, error)
+
+// figureIDs lists the figure identifiers in presentation order.
+var figureIDs = []string{
+	"fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
+	"fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+	"ablation", "datasets",
+}
+
+// figureTitles maps figure ids to their human-readable titles.
+var figureTitles = map[string]string{
+	"fig05":    "Scalability w.r.t. DBSIZE (Tax, ARITY=7, CF=0.7, fixed SUP%)",
+	"fig06":    "Number of CFDs found w.r.t. DBSIZE",
+	"fig07":    "Scalability w.r.t. ARITY (Tax, CF=0.7, fixed SUP%)",
+	"fig08":    "Scalability w.r.t. support threshold k (Tax)",
+	"fig09":    "Number of CFDs found w.r.t. k",
+	"fig10":    "Scalability w.r.t. correlation factor CF (Tax)",
+	"fig11":    "Wisconsin breast cancer: response time vs k",
+	"fig12":    "Chess: response time vs k",
+	"fig13":    "Tax: response time vs k",
+	"fig14":    "Wisconsin breast cancer: number of CFDs vs k",
+	"fig15":    "Chess: number of CFDs vs k",
+	"fig16":    "Tax: number of CFDs vs k",
+	"ablation": "Ablation: FastCFD optimisations (extension, not a paper figure)",
+	"datasets": "Data set shapes (§6.1 table)",
+}
+
+// runners returns the runner for each figure id. It is a function (not a
+// package variable) to avoid an initialisation cycle between the runners and
+// the title lookup they use.
+func runners() map[string]Runner {
+	return map[string]Runner{
+		"fig05": Fig05, "fig06": Fig06, "fig07": Fig07, "fig08": Fig08,
+		"fig09": Fig09, "fig10": Fig10, "fig11": Fig11, "fig12": Fig12,
+		"fig13": Fig13, "fig14": Fig14, "fig15": Fig15, "fig16": Fig16,
+		"ablation": Ablation, "datasets": Datasets,
+	}
+}
+
+// IDs lists the available figure identifiers in presentation order.
+func IDs() []string {
+	return append([]string(nil), figureIDs...)
+}
+
+// Title returns the title of a figure id, or the empty string if unknown.
+func Title(id string) string { return figureTitles[id] }
+
+// Run regenerates the figure with the given id.
+func Run(id string, cfg Config) (*Figure, error) {
+	r, ok := runners()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown figure %q (available: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r(cfg)
+}
+
+// Table renders the figure as a fixed-width text table.
+func (f *Figure) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "x-axis: %s, values: %s\n", f.XLabel, f.YLabel)
+	header := append([]string{f.XLabel}, f.Series...)
+	widths := make([]int, len(header))
+	rows := [][]string{header}
+	for _, p := range f.Points {
+		row := []string{p.X}
+		for _, s := range f.Series {
+			v, ok := p.Series[s]
+			switch {
+			case !ok:
+				row = append(row, "-")
+			case f.YLabel == "seconds":
+				row = append(row, fmt.Sprintf("%.3f", v))
+			default:
+				row = append(row, fmt.Sprintf("%.0f", v))
+			}
+		}
+		rows = append(rows, row)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], cell)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for i := range row {
+				b.WriteString(strings.Repeat("-", widths[i]))
+				b.WriteString("  ")
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// timeAlg runs one algorithm and returns its response time in seconds together
+// with the result.
+func timeAlg(alg discovery.Algorithm, rel *cfd.Relation, opts discovery.Options) (float64, *discovery.Result, error) {
+	start := time.Now()
+	res, err := discovery.Discover(alg, rel, opts)
+	if err != nil {
+		return 0, nil, err
+	}
+	return time.Since(start).Seconds(), res, nil
+}
+
+// supportFromRatio converts the paper's SUP% into an absolute threshold. The
+// floor of 5 keeps the scaled-down sweeps from degenerating into the k=2 worst
+// case that only the paper-scale DBSIZE values would justify.
+func supportFromRatio(size int, ratio float64) int {
+	k := int(math.Round(float64(size) * ratio))
+	if k < 5 {
+		k = 5
+	}
+	return k
+}
+
+// sortedSeries collects every series name appearing in the points.
+func sortedSeries(points []Point, preferred []string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range preferred {
+		seen[s] = true
+		out = append(out, s)
+	}
+	var extra []string
+	for _, p := range points {
+		for s := range p.Series {
+			if !seen[s] {
+				seen[s] = true
+				extra = append(extra, s)
+			}
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}

@@ -1,0 +1,118 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/experiments"
+)
+
+func TestIDsAndTitles(t *testing.T) {
+	ids := experiments.IDs()
+	if len(ids) < 14 {
+		t.Fatalf("expected at least 14 figures, got %d", len(ids))
+	}
+	for _, id := range ids {
+		if experiments.Title(id) == "" {
+			t.Errorf("figure %s has no title", id)
+		}
+	}
+	for _, want := range []string{"fig05", "fig10", "fig16", "ablation", "datasets"} {
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("figure %s missing from IDs()", want)
+		}
+	}
+	if experiments.Title("nope") != "" {
+		t.Error("unknown id should have an empty title")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if _, err := experiments.Run("fig99", experiments.Config{Quick: true}); err == nil {
+		t.Error("unknown figure must error")
+	}
+}
+
+// TestDatasetsFigure checks the §6.1 shape table at quick scale.
+func TestDatasetsFigure(t *testing.T) {
+	fig, err := experiments.Run("datasets", experiments.Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) != 3 {
+		t.Fatalf("expected 3 data sets, got %d", len(fig.Points))
+	}
+	for _, p := range fig.Points {
+		if p.Series["tuples"] <= 0 || p.Series["attributes"] <= 0 {
+			t.Errorf("%s: bad shape %v", p.X, p.Series)
+		}
+		if p.X == "WBC" && p.Series["attributes"] != 11 {
+			t.Errorf("WBC should have 11 attributes, got %v", p.Series["attributes"])
+		}
+		if p.X == "Chess" && p.Series["attributes"] != 7 {
+			t.Errorf("Chess should have 7 attributes, got %v", p.Series["attributes"])
+		}
+	}
+	table := fig.Table()
+	if !strings.Contains(table, "WBC") || !strings.Contains(table, "attributes") {
+		t.Errorf("table rendering incomplete:\n%s", table)
+	}
+}
+
+// TestCountFiguresQuick regenerates the two cheap count figures at quick scale
+// and validates the monotonicity the paper reports: larger k, fewer CFDs.
+func TestCountFiguresQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping experiment sweeps in -short mode")
+	}
+	fig, err := experiments.Run("fig09", experiments.Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) < 2 {
+		t.Fatalf("fig09 has %d points", len(fig.Points))
+	}
+	prevTotal := -1.0
+	for _, p := range fig.Points {
+		total := p.Series["constant CFDs"] + p.Series["variable CFDs"]
+		if total <= 0 {
+			t.Errorf("k=%s: no CFDs found", p.X)
+		}
+		if prevTotal >= 0 && total > prevTotal {
+			t.Errorf("number of CFDs should not grow with k: %v then %v", prevTotal, total)
+		}
+		prevTotal = total
+	}
+}
+
+// TestTimeFigureQuick runs one timing figure at quick scale and checks every
+// declared series is populated with positive timings.
+func TestTimeFigureQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping experiment sweeps in -short mode")
+	}
+	fig, err := experiments.Run("fig11", experiments.Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) == 0 || len(fig.Points) == 0 {
+		t.Fatal("empty figure")
+	}
+	for _, p := range fig.Points {
+		for _, s := range fig.Series {
+			v, ok := p.Series[s]
+			if !ok || v < 0 {
+				t.Errorf("point %s: series %s missing or negative (%v)", p.X, s, v)
+			}
+		}
+	}
+	if !strings.Contains(fig.Table(), "CTANE") {
+		t.Error("table should mention CTANE")
+	}
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/cfd"
+	"repro/dataset"
+	"repro/discovery"
+)
+
+// realDataset describes one of the §6.2.2 real-data experiments. The UCI data
+// sets themselves cannot be shipped with an offline build, so shape-preserving
+// synthesisers stand in for them (see DESIGN.md, "Substitutions").
+type realDataset struct {
+	name   string
+	build  func(cfg Config) (*cfd.Relation, error)
+	ks     func(cfg Config) []int
+	maxLHS int
+}
+
+func wbcDataset() realDataset {
+	return realDataset{
+		name: "WBC",
+		build: func(cfg Config) (*cfd.Relation, error) {
+			size := dataset.WBCSize
+			if cfg.Quick {
+				size = 200
+			}
+			return dataset.WisconsinLike(size, cfg.seed()), nil
+		},
+		ks: func(cfg Config) []int {
+			if cfg.Quick {
+				return []int{20, 60}
+			}
+			return []int{10, 20, 40, 80}
+		},
+		// The WBC schema has 11 attributes with dense domains; the pattern
+		// lattice is bounded to keep the default run laptop-sized. The same
+		// bound applies to both algorithms, so their relative behaviour (the
+		// shape of Fig. 11) is preserved.
+		maxLHS: 3,
+	}
+}
+
+func chessDataset() realDataset {
+	return realDataset{
+		name: "Chess",
+		build: func(cfg Config) (*cfd.Relation, error) {
+			size := 3000
+			if cfg.Quick {
+				size = 1000
+			}
+			if cfg.Full {
+				size = dataset.ChessSize
+			}
+			return dataset.ChessLike(size, cfg.seed()), nil
+		},
+		ks: func(cfg Config) []int {
+			if cfg.Quick {
+				return []int{20, 60}
+			}
+			return []int{10, 20, 40, 80}
+		},
+		maxLHS: 3,
+	}
+}
+
+func taxDataset() realDataset {
+	return realDataset{
+		name: "Tax",
+		build: func(cfg Config) (*cfd.Relation, error) {
+			size := 5000
+			if cfg.Quick {
+				size = 1000
+			}
+			if cfg.Full {
+				size = 100000
+			}
+			return dataset.Tax(dataset.TaxConfig{Size: size, Arity: 9, CF: 0.7, Seed: cfg.seed()})
+		},
+		ks: func(cfg Config) []int {
+			if cfg.Quick {
+				return []int{10, 40}
+			}
+			return []int{20, 40, 80, 160}
+		},
+		maxLHS: 0,
+	}
+}
+
+// realTimeFigure reproduces the Figs. 11–13 pattern: CTANE and FastCFD
+// response time as k varies on one data set.
+func realTimeFigure(id string, ds realDataset, cfg Config) (*Figure, error) {
+	rel, err := ds.build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{ID: id, Title: Title(id), XLabel: "k", YLabel: "seconds"}
+	for _, k := range ds.ks(cfg) {
+		point := Point{X: fmt.Sprintf("%d", k), Series: map[string]float64{}}
+		for alg, series := range map[discovery.Algorithm]string{
+			discovery.AlgCTANE:   SeriesCTANE,
+			discovery.AlgFastCFD: SeriesFastCFD,
+		} {
+			sec, _, err := timeAlg(alg, rel, discovery.Options{Support: k, MaxLHS: ds.maxLHS})
+			if err != nil {
+				return nil, err
+			}
+			point.Series[series] = sec
+		}
+		fig.Points = append(fig.Points, point)
+	}
+	fig.Series = sortedSeries(fig.Points, []string{SeriesCTANE, SeriesFastCFD})
+	return fig, nil
+}
+
+// realCountFigure reproduces the Figs. 14–16 pattern: the number of CFDs
+// discovered as k varies on one data set.
+func realCountFigure(id string, ds realDataset, cfg Config) (*Figure, error) {
+	rel, err := ds.build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{ID: id, Title: Title(id), XLabel: "k", YLabel: "#CFDs"}
+	for _, k := range ds.ks(cfg) {
+		_, res, err := timeAlg(discovery.AlgFastCFD, rel, discovery.Options{Support: k, MaxLHS: ds.maxLHS})
+		if err != nil {
+			return nil, err
+		}
+		fig.Points = append(fig.Points, Point{
+			X: fmt.Sprintf("%d", k),
+			Series: map[string]float64{
+				SeriesConstant: float64(res.Constant),
+				SeriesVariable: float64(res.Variable),
+				"total":        float64(len(res.CFDs)),
+			},
+		})
+	}
+	fig.Series = sortedSeries(fig.Points, []string{SeriesConstant, SeriesVariable, "total"})
+	return fig, nil
+}
+
+// Fig11 reproduces Fig. 11: CTANE vs FastCFD on the Wisconsin-breast-cancer-
+// shaped data set as k varies.
+func Fig11(cfg Config) (*Figure, error) { return realTimeFigure("fig11", wbcDataset(), cfg) }
+
+// Fig12 reproduces Fig. 12: CTANE vs FastCFD on the Chess-shaped data set.
+func Fig12(cfg Config) (*Figure, error) { return realTimeFigure("fig12", chessDataset(), cfg) }
+
+// Fig13 reproduces Fig. 13: CTANE vs FastCFD on the synthetic Tax data set.
+func Fig13(cfg Config) (*Figure, error) { return realTimeFigure("fig13", taxDataset(), cfg) }
+
+// Fig14 reproduces Fig. 14: number of CFDs on the WBC-shaped data set vs k.
+func Fig14(cfg Config) (*Figure, error) { return realCountFigure("fig14", wbcDataset(), cfg) }
+
+// Fig15 reproduces Fig. 15: number of CFDs on the Chess-shaped data set vs k.
+func Fig15(cfg Config) (*Figure, error) { return realCountFigure("fig15", chessDataset(), cfg) }
+
+// Fig16 reproduces Fig. 16: number of CFDs on the Tax data set vs k.
+func Fig16(cfg Config) (*Figure, error) { return realCountFigure("fig16", taxDataset(), cfg) }
+
+// Datasets reports the shapes of the evaluation data sets, mirroring the
+// parameter table of §6.1.
+func Datasets(cfg Config) (*Figure, error) {
+	fig := &Figure{ID: "datasets", Title: Title("datasets"), XLabel: "data set", YLabel: "count"}
+	for _, ds := range []realDataset{wbcDataset(), chessDataset(), taxDataset()} {
+		rel, err := ds.build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		fig.Points = append(fig.Points, Point{
+			X: ds.name,
+			Series: map[string]float64{
+				"tuples":     float64(rel.Size()),
+				"attributes": float64(rel.Arity()),
+			},
+		})
+	}
+	fig.Series = []string{"tuples", "attributes"}
+	return fig, nil
+}

@@ -1,0 +1,353 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/cfd"
+	"repro/dataset"
+	"repro/discovery"
+)
+
+// Series names used across figures.
+const (
+	SeriesCFDMiner  = "CFDMiner"
+	SeriesCFDMiner2 = "CFDMiner(2)"
+	SeriesCTANE     = "CTANE"
+	SeriesNaiveFast = "NaiveFast"
+	SeriesFastCFD   = "FastCFD"
+	SeriesConstant  = "constant CFDs"
+	SeriesVariable  = "variable CFDs"
+)
+
+// supportRatio returns the SUP% used in Figs. 5–7: the paper's 0.1% at full
+// scale, and 0.5% for the scaled-down default and quick sweeps so that the
+// absolute threshold k stays in a comparable range despite the smaller DBSIZE.
+func supportRatio(cfg Config) float64 {
+	if cfg.Full {
+		return 0.001
+	}
+	return 0.005
+}
+
+// taxRelation builds a Tax relation for a sweep point.
+func taxRelation(cfg Config, size, arity int, cf float64) (*cfd.Relation, error) {
+	return dataset.Tax(dataset.TaxConfig{Size: size, Arity: arity, CF: cf, Seed: cfg.seed()})
+}
+
+// fig5Sizes returns the DBSIZE sweep and the largest size at which the
+// quadratic NaiveFast backend is still run.
+func fig5Sizes(cfg Config) (sizes []int, naiveCap, ctaneCap int) {
+	switch {
+	case cfg.Quick:
+		return []int{500, 1000, 2000}, 2000, 2000
+	case cfg.Full:
+		// The paper sweeps 20K to 1M; NaiveFast is only taken to 300K there.
+		return []int{20000, 50000, 100000, 300000, 1000000}, 300000, 1000000
+	default:
+		return []int{1000, 2000, 5000, 10000, 20000}, 10000, 20000
+	}
+}
+
+// Fig05 reproduces Fig. 5: response time of CFDMiner, CFDMiner(k=2), CTANE,
+// NaiveFast and FastCFD as DBSIZE grows, with ARITY=7, CF=0.7 and SUP%=0.1%.
+func Fig05(cfg Config) (*Figure, error) {
+	sizes, naiveCap, ctaneCap := fig5Sizes(cfg)
+	fig := &Figure{
+		ID: "fig05", Title: Title("fig05"),
+		XLabel: "DBSIZE", YLabel: "seconds",
+	}
+	for _, size := range sizes {
+		rel, err := taxRelation(cfg, size, 7, 0.7)
+		if err != nil {
+			return nil, err
+		}
+		k := supportFromRatio(size, supportRatio(cfg))
+		point := Point{X: fmt.Sprintf("%d", size), Series: map[string]float64{}}
+
+		if sec, _, err := timeAlg(discovery.AlgCFDMiner, rel, discovery.Options{Support: k}); err == nil {
+			point.Series[SeriesCFDMiner] = sec
+		} else {
+			return nil, err
+		}
+		if sec, _, err := timeAlg(discovery.AlgCFDMiner, rel, discovery.Options{Support: 2}); err == nil {
+			point.Series[SeriesCFDMiner2] = sec
+		} else {
+			return nil, err
+		}
+		if size <= ctaneCap {
+			if sec, _, err := timeAlg(discovery.AlgCTANE, rel, discovery.Options{Support: k}); err == nil {
+				point.Series[SeriesCTANE] = sec
+			} else {
+				return nil, err
+			}
+		}
+		if size <= naiveCap {
+			if sec, _, err := timeAlg(discovery.AlgNaiveFast, rel, discovery.Options{Support: k}); err == nil {
+				point.Series[SeriesNaiveFast] = sec
+			} else {
+				return nil, err
+			}
+		}
+		if sec, _, err := timeAlg(discovery.AlgFastCFD, rel, discovery.Options{Support: k}); err == nil {
+			point.Series[SeriesFastCFD] = sec
+		} else {
+			return nil, err
+		}
+		fig.Points = append(fig.Points, point)
+	}
+	fig.Series = sortedSeries(fig.Points, []string{SeriesCFDMiner, SeriesCFDMiner2, SeriesCTANE, SeriesNaiveFast, SeriesFastCFD})
+	return fig, nil
+}
+
+// Fig06 reproduces Fig. 6: the number of constant and variable CFDs found by
+// FastCFD over the same DBSIZE sweep as Fig. 5.
+func Fig06(cfg Config) (*Figure, error) {
+	sizes, _, _ := fig5Sizes(cfg)
+	fig := &Figure{
+		ID: "fig06", Title: Title("fig06"),
+		XLabel: "DBSIZE", YLabel: "#CFDs",
+	}
+	for _, size := range sizes {
+		rel, err := taxRelation(cfg, size, 7, 0.7)
+		if err != nil {
+			return nil, err
+		}
+		k := supportFromRatio(size, supportRatio(cfg))
+		_, res, err := timeAlg(discovery.AlgFastCFD, rel, discovery.Options{Support: k})
+		if err != nil {
+			return nil, err
+		}
+		fig.Points = append(fig.Points, Point{
+			X: fmt.Sprintf("%d", size),
+			Series: map[string]float64{
+				SeriesConstant: float64(res.Constant),
+				SeriesVariable: float64(res.Variable),
+			},
+		})
+	}
+	fig.Series = sortedSeries(fig.Points, []string{SeriesConstant, SeriesVariable})
+	return fig, nil
+}
+
+// Fig07 reproduces Fig. 7: response time as ARITY grows, with CF=0.7 and
+// SUP%=0.1%. CTANE is only run up to a cap, mirroring the paper's observation
+// that it cannot complete beyond arity 17.
+func Fig07(cfg Config) (*Figure, error) {
+	var arities []int
+	var size, ctaneCap int
+	ratio := supportRatio(cfg)
+	switch {
+	case cfg.Quick:
+		arities, size, ctaneCap = []int{7, 9, 11}, 1000, 9
+		ratio = 0.01
+	case cfg.Full:
+		arities, size, ctaneCap = []int{7, 11, 15, 19, 23, 27, 31}, 20000, 17
+	default:
+		arities, size, ctaneCap = []int{7, 9, 11, 13, 15}, 2000, 11
+		// The scaled-down DBSIZE needs a proportionally higher SUP% to keep the
+		// cover (and therefore the per-point cost) comparable to the paper's.
+		ratio = 0.01
+	}
+	fig := &Figure{
+		ID: "fig07", Title: Title("fig07"),
+		XLabel: "ARITY", YLabel: "seconds",
+	}
+	k := supportFromRatio(size, ratio)
+	for _, arity := range arities {
+		rel, err := taxRelation(cfg, size, arity, 0.7)
+		if err != nil {
+			return nil, err
+		}
+		point := Point{X: fmt.Sprintf("%d", arity), Series: map[string]float64{}}
+		if sec, _, err := timeAlg(discovery.AlgCFDMiner, rel, discovery.Options{Support: k}); err == nil {
+			point.Series[SeriesCFDMiner] = sec
+		} else {
+			return nil, err
+		}
+		if arity <= ctaneCap {
+			if sec, _, err := timeAlg(discovery.AlgCTANE, rel, discovery.Options{Support: k}); err == nil {
+				point.Series[SeriesCTANE] = sec
+			} else {
+				return nil, err
+			}
+		}
+		if sec, _, err := timeAlg(discovery.AlgNaiveFast, rel, discovery.Options{Support: k}); err == nil {
+			point.Series[SeriesNaiveFast] = sec
+		} else {
+			return nil, err
+		}
+		if sec, _, err := timeAlg(discovery.AlgFastCFD, rel, discovery.Options{Support: k}); err == nil {
+			point.Series[SeriesFastCFD] = sec
+		} else {
+			return nil, err
+		}
+		fig.Points = append(fig.Points, point)
+	}
+	fig.Series = sortedSeries(fig.Points, []string{SeriesCFDMiner, SeriesCTANE, SeriesNaiveFast, SeriesFastCFD})
+	return fig, nil
+}
+
+// fig8Params returns the DBSIZE and support sweep of the k-sensitivity
+// experiment.
+func fig8Params(cfg Config) (size int, ks []int) {
+	switch {
+	case cfg.Quick:
+		return 2000, []int{10, 20, 40}
+	case cfg.Full:
+		return 100000, []int{50, 75, 100, 125, 150}
+	default:
+		return 5000, []int{20, 40, 80, 160}
+	}
+}
+
+// Fig08 reproduces Fig. 8: response time as the support threshold k grows,
+// showing that CTANE is highly sensitive to k while NaiveFast and FastCFD are
+// not.
+func Fig08(cfg Config) (*Figure, error) {
+	size, ks := fig8Params(cfg)
+	rel, err := taxRelation(cfg, size, 7, 0.7)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID: "fig08", Title: Title("fig08"),
+		XLabel: "k", YLabel: "seconds",
+	}
+	for _, k := range ks {
+		point := Point{X: fmt.Sprintf("%d", k), Series: map[string]float64{}}
+		for alg, series := range map[discovery.Algorithm]string{
+			discovery.AlgCTANE:     SeriesCTANE,
+			discovery.AlgNaiveFast: SeriesNaiveFast,
+			discovery.AlgFastCFD:   SeriesFastCFD,
+		} {
+			sec, _, err := timeAlg(alg, rel, discovery.Options{Support: k})
+			if err != nil {
+				return nil, err
+			}
+			point.Series[series] = sec
+		}
+		fig.Points = append(fig.Points, point)
+	}
+	fig.Series = sortedSeries(fig.Points, []string{SeriesCTANE, SeriesNaiveFast, SeriesFastCFD})
+	return fig, nil
+}
+
+// Fig09 reproduces Fig. 9: the number of constant and variable CFDs found as k
+// grows (fewer CFDs for larger k).
+func Fig09(cfg Config) (*Figure, error) {
+	size, ks := fig8Params(cfg)
+	rel, err := taxRelation(cfg, size, 7, 0.7)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID: "fig09", Title: Title("fig09"),
+		XLabel: "k", YLabel: "#CFDs",
+	}
+	for _, k := range ks {
+		_, res, err := timeAlg(discovery.AlgFastCFD, rel, discovery.Options{Support: k})
+		if err != nil {
+			return nil, err
+		}
+		fig.Points = append(fig.Points, Point{
+			X: fmt.Sprintf("%d", k),
+			Series: map[string]float64{
+				SeriesConstant: float64(res.Constant),
+				SeriesVariable: float64(res.Variable),
+			},
+		})
+	}
+	fig.Series = sortedSeries(fig.Points, []string{SeriesConstant, SeriesVariable})
+	return fig, nil
+}
+
+// Fig10 reproduces Fig. 10: response time as the correlation factor CF varies.
+// Smaller CF means smaller active domains, more frequent patterns and more
+// work for the levelwise algorithm.
+func Fig10(cfg Config) (*Figure, error) {
+	var size, k int
+	switch {
+	case cfg.Quick:
+		size, k = 1000, 10
+	case cfg.Full:
+		size, k = 50000, 50
+	default:
+		size, k = 3000, 15
+	}
+	cfs := []float64{0.3, 0.5, 0.7}
+	fig := &Figure{
+		ID: "fig10", Title: Title("fig10"),
+		XLabel: "CF", YLabel: "seconds",
+	}
+	for _, cf := range cfs {
+		rel, err := taxRelation(cfg, size, 9, cf)
+		if err != nil {
+			return nil, err
+		}
+		point := Point{X: fmt.Sprintf("%.1f", cf), Series: map[string]float64{}}
+		for alg, series := range map[discovery.Algorithm]string{
+			discovery.AlgCTANE:     SeriesCTANE,
+			discovery.AlgNaiveFast: SeriesNaiveFast,
+			discovery.AlgFastCFD:   SeriesFastCFD,
+		} {
+			sec, _, err := timeAlg(alg, rel, discovery.Options{Support: k})
+			if err != nil {
+				return nil, err
+			}
+			point.Series[series] = sec
+		}
+		fig.Points = append(fig.Points, point)
+	}
+	fig.Series = sortedSeries(fig.Points, []string{SeriesCTANE, SeriesNaiveFast, SeriesFastCFD})
+	return fig, nil
+}
+
+// Ablation is an extension experiment (not a paper figure): it isolates the
+// two design choices FastCFD stacks on top of the naive depth-first search —
+// the closed-item-set difference sets and the CFDMiner delegation of constant
+// CFDs — at a single representative configuration.
+func Ablation(cfg Config) (*Figure, error) {
+	var size int
+	switch {
+	case cfg.Quick:
+		size = 1000
+	case cfg.Full:
+		size = 50000
+	default:
+		size = 10000
+	}
+	rel, err := taxRelation(cfg, size, 9, 0.7)
+	if err != nil {
+		return nil, err
+	}
+	k := supportFromRatio(size, supportRatio(cfg))
+	fig := &Figure{
+		ID: "ablation", Title: Title("ablation"),
+		XLabel: "variant", YLabel: "seconds",
+	}
+	variants := []struct {
+		name string
+		alg  discovery.Algorithm
+		opts discovery.Options
+	}{
+		{"FastCFD (closed diffsets + CFDMiner constants)", discovery.AlgFastCFD, discovery.Options{Support: k}},
+		{"FastCFD without CFDMiner delegation", discovery.AlgFastCFD, discovery.Options{Support: k, DisableItemsetOptimisation: true}},
+		{"NaiveFast (partition diffsets)", discovery.AlgNaiveFast, discovery.Options{Support: k}},
+		{"CTANE", discovery.AlgCTANE, discovery.Options{Support: k}},
+	}
+	for _, v := range variants {
+		sec, res, err := timeAlg(v.alg, rel, v.opts)
+		if err != nil {
+			return nil, err
+		}
+		fig.Points = append(fig.Points, Point{
+			X: v.name,
+			Series: map[string]float64{
+				"seconds": sec,
+				"#CFDs":   float64(len(res.CFDs)),
+			},
+		})
+	}
+	fig.Series = []string{"seconds", "#CFDs"}
+	return fig, nil
+}

@@ -1,0 +1,103 @@
+package bruteforce
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/fixture"
+)
+
+// TestMineProducesExactlyMinimalFrequentCFDs re-derives the defining property
+// of the oracle's output on the cust relation: a CFD is returned iff it is
+// minimal and k-frequent.
+func TestMineProducesExactlyMinimalFrequentCFDs(t *testing.T) {
+	r := fixture.CustNoNM()
+	k := 2
+	got := Mine(r, k)
+	index := make(map[string]bool, len(got))
+	for _, c := range got {
+		index[c.Key()] = true
+		if !core.IsMinimal(r, c) {
+			t.Errorf("oracle returned a non-minimal CFD: %s", c.Format(r))
+		}
+		if core.Support(r, c) < k {
+			t.Errorf("oracle returned an infrequent CFD: %s", c.Format(r))
+		}
+	}
+	// Spot-check membership: phi2 restricted to the projection is minimal and
+	// 2-frequent, so it must be present.
+	lhs, _ := r.Schema().AttrSetOf("CC", "AC")
+	ct, _ := r.Schema().Index("CT")
+	tp := core.NewPattern(r.Arity())
+	cc, _ := r.Schema().Index("CC")
+	ac, _ := r.Schema().Index("AC")
+	tp[cc], _ = r.Dict(cc).Lookup("44")
+	tp[ac], _ = r.Dict(ac).Lookup("131")
+	tp[ct], _ = r.Dict(ct).Lookup("EDI")
+	phi2 := core.CFD{LHS: lhs, RHS: ct, Tp: tp}
+	if !index[phi2.Key()] {
+		t.Error("phi2 missing from the oracle output")
+	}
+}
+
+// TestConstantPlusVariableEqualsMine checks that Mine is the union of the two
+// class-specific enumerations.
+func TestConstantPlusVariableEqualsMine(t *testing.T) {
+	r := fixture.Random(5, 40, []int{2, 3, 2})
+	for _, k := range []int{1, 2, 4} {
+		all := Mine(r, k)
+		split := append(MineConstant(r, k), MineVariable(r, k)...)
+		if len(all) != len(split) {
+			t.Fatalf("k=%d: Mine has %d CFDs, constant+variable %d", k, len(all), len(split))
+		}
+		index := make(map[string]bool, len(all))
+		for _, c := range all {
+			index[c.Key()] = true
+		}
+		for _, c := range split {
+			if !index[c.Key()] {
+				t.Errorf("k=%d: %s missing from Mine", k, c.Format(r))
+			}
+		}
+	}
+}
+
+// TestMonotoneInK checks that raising the threshold never adds CFDs that were
+// not already minimal: every k-frequent minimal CFD is also in the (k-1) cover.
+func TestMonotoneInK(t *testing.T) {
+	r := fixture.RandomCorrelated(3, 50, 4, 3)
+	prev := Mine(r, 1)
+	prevIndex := make(map[string]bool, len(prev))
+	for _, c := range prev {
+		prevIndex[c.Key()] = true
+	}
+	for _, k := range []int{2, 3, 4} {
+		cur := Mine(r, k)
+		if len(cur) > len(prev) {
+			t.Errorf("k=%d: cover grew from %d to %d", k, len(prev), len(cur))
+		}
+		for _, c := range cur {
+			if !prevIndex[c.Key()] {
+				t.Errorf("k=%d: %s not present at smaller k", k, c.Format(r))
+			}
+		}
+	}
+}
+
+// TestOutputsHoldOnRandomRelations is a property-style check over random
+// relations: everything the oracle returns is satisfied.
+func TestOutputsHoldOnRandomRelations(t *testing.T) {
+	f := func(seed int64) bool {
+		r := fixture.Random(seed%100, 25, []int{2, 2, 3})
+		for _, c := range Mine(r, 2) {
+			if !core.Satisfies(r, c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,73 @@
+// Package cfdminer implements CFDMiner (§3 of the paper): discovery of a
+// canonical cover of k-frequent, minimal (left-reduced) constant CFDs from the
+// k-frequent free and closed item sets of a relation.
+//
+// The algorithm follows Proposition 1: a constant CFD (X → A, (tp ‖ a)) is
+// k-frequent and left-reduced iff (X, tp) is a k-frequent free item set not
+// containing (A, a), its closure contains (A, a), and no smaller free item set
+// contained in (X, tp) has (A, a) in its closure.
+package cfdminer
+
+import (
+	"repro/internal/core"
+	"repro/internal/itemset"
+)
+
+// Mine returns a canonical cover of the k-frequent minimal constant CFDs of r.
+func Mine(r *core.Relation, k int) []core.CFD {
+	return MineFromItemsets(itemset.Mine(r, k))
+}
+
+// MineFromItemsets runs CFDMiner over a precomputed free/closed item-set
+// mining result. FastCFD uses this entry point to share the mining work
+// between constant-CFD discovery and its own pattern pruning.
+func MineFromItemsets(m *itemset.Mining) []core.CFD {
+	arity := m.Relation.Arity()
+	var out []core.CFD
+
+	// The free sets are sorted in ascending size order, so every proper free
+	// subset of a set is fully processed (and indexed) before the set itself.
+	for _, fs := range m.Free {
+		closure := fs.Closure
+		// Candidate right-hand sides: the items the closure adds to the free set.
+		var candidates []itemset.Item
+		closure.Attrs.Diff(fs.Attrs).ForEach(func(a int) {
+			candidates = append(candidates, itemset.Item{Attr: a, Value: closure.Tp[a]})
+		})
+		if len(candidates) == 0 {
+			continue
+		}
+		// Remove every candidate that already appears in the closure of a proper
+		// free subset of (X, tp): such a candidate yields a CFD that is not
+		// left-reduced (Proposition 1, condition 3).
+		surviving := candidates[:0]
+		for _, cand := range candidates {
+			redundant := false
+			fs.Attrs.Subsets(func(sub core.AttrSet) bool {
+				if sub == fs.Attrs {
+					return true
+				}
+				subSet, ok := m.LookupFree(sub, fs.Tp)
+				if !ok {
+					return true
+				}
+				if subSet.Closure.Has(cand) {
+					redundant = true
+					return false
+				}
+				return true
+			})
+			if !redundant {
+				surviving = append(surviving, cand)
+			}
+		}
+		for _, cand := range surviving {
+			tp := core.NewPattern(arity)
+			fs.Attrs.ForEach(func(a int) { tp[a] = fs.Tp[a] })
+			tp[cand.Attr] = cand.Value
+			out = append(out, core.CFD{LHS: fs.Attrs, RHS: cand.Attr, Tp: tp})
+		}
+	}
+	core.SortCFDs(out)
+	return out
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math/bits"
+	"strings"
+)
+
+// MaxArity is the maximum number of attributes supported by AttrSet.
+const MaxArity = 64
+
+// AttrSet is a set of attribute indexes represented as a 64-bit bitset.
+// Attribute i is a member iff bit i is set.
+type AttrSet uint64
+
+// EmptyAttrSet is the empty attribute set.
+const EmptyAttrSet AttrSet = 0
+
+// SingleAttr returns the set containing only attribute a.
+func SingleAttr(a int) AttrSet { return AttrSet(1) << uint(a) }
+
+// FullAttrSet returns the set {0, 1, ..., n-1}.
+func FullAttrSet(n int) AttrSet {
+	if n >= MaxArity {
+		return ^AttrSet(0)
+	}
+	return (AttrSet(1) << uint(n)) - 1
+}
+
+// NewAttrSet returns the set containing the given attribute indexes.
+func NewAttrSet(attrs ...int) AttrSet {
+	var s AttrSet
+	for _, a := range attrs {
+		s |= SingleAttr(a)
+	}
+	return s
+}
+
+// Has reports whether attribute a is in the set.
+func (s AttrSet) Has(a int) bool { return s&SingleAttr(a) != 0 }
+
+// Add returns the set with attribute a added.
+func (s AttrSet) Add(a int) AttrSet { return s | SingleAttr(a) }
+
+// Remove returns the set with attribute a removed.
+func (s AttrSet) Remove(a int) AttrSet { return s &^ SingleAttr(a) }
+
+// Union returns the union of s and t.
+func (s AttrSet) Union(t AttrSet) AttrSet { return s | t }
+
+// Intersect returns the intersection of s and t.
+func (s AttrSet) Intersect(t AttrSet) AttrSet { return s & t }
+
+// Diff returns the set difference s \ t.
+func (s AttrSet) Diff(t AttrSet) AttrSet { return s &^ t }
+
+// IsEmpty reports whether the set is empty.
+func (s AttrSet) IsEmpty() bool { return s == 0 }
+
+// Len returns the number of attributes in the set.
+func (s AttrSet) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// SubsetOf reports whether every member of s is also in t.
+func (s AttrSet) SubsetOf(t AttrSet) bool { return s&^t == 0 }
+
+// ProperSubsetOf reports whether s is a subset of t and s != t.
+func (s AttrSet) ProperSubsetOf(t AttrSet) bool { return s != t && s.SubsetOf(t) }
+
+// Intersects reports whether s and t share at least one attribute.
+func (s AttrSet) Intersects(t AttrSet) bool { return s&t != 0 }
+
+// Attrs returns the members of the set in ascending order.
+func (s AttrSet) Attrs() []int {
+	out := make([]int, 0, s.Len())
+	for v := uint64(s); v != 0; v &= v - 1 {
+		out = append(out, bits.TrailingZeros64(v))
+	}
+	return out
+}
+
+// First returns the smallest attribute in the set, or -1 when empty.
+func (s AttrSet) First() int {
+	if s == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(s))
+}
+
+// Last returns the largest attribute in the set, or -1 when empty.
+func (s AttrSet) Last() int {
+	if s == 0 {
+		return -1
+	}
+	return 63 - bits.LeadingZeros64(uint64(s))
+}
+
+// ForEach calls fn for each attribute in ascending order.
+func (s AttrSet) ForEach(fn func(a int)) {
+	for v := uint64(s); v != 0; v &= v - 1 {
+		fn(bits.TrailingZeros64(v))
+	}
+}
+
+// Subsets calls fn for every subset of s, including the empty set and s itself.
+// Iteration order is unspecified. If fn returns false, iteration stops.
+func (s AttrSet) Subsets(fn func(sub AttrSet) bool) {
+	sub := uint64(s)
+	for {
+		if !fn(AttrSet(sub)) {
+			return
+		}
+		if sub == 0 {
+			return
+		}
+		sub = (sub - 1) & uint64(s)
+	}
+}
+
+// ImmediateSubsets calls fn once for every subset of s obtained by removing a
+// single attribute (in ascending order of the removed attribute). If fn returns
+// false, iteration stops.
+func (s AttrSet) ImmediateSubsets(fn func(removed int, sub AttrSet) bool) {
+	for v := uint64(s); v != 0; v &= v - 1 {
+		a := bits.TrailingZeros64(v)
+		if !fn(a, s.Remove(a)) {
+			return
+		}
+	}
+}
+
+// String renders the set as "{1,3,5}" using attribute indexes.
+func (s AttrSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(a int) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(itoa(a))
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

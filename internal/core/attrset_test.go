@@ -1,0 +1,183 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAttrSetBasics(t *testing.T) {
+	s := NewAttrSet(1, 3, 5)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	for _, a := range []int{1, 3, 5} {
+		if !s.Has(a) {
+			t.Errorf("Has(%d) = false, want true", a)
+		}
+	}
+	for _, a := range []int{0, 2, 4, 6} {
+		if s.Has(a) {
+			t.Errorf("Has(%d) = true, want false", a)
+		}
+	}
+	if got := s.Attrs(); len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Errorf("Attrs() = %v, want [1 3 5]", got)
+	}
+	if s.First() != 1 || s.Last() != 5 {
+		t.Errorf("First/Last = %d/%d, want 1/5", s.First(), s.Last())
+	}
+	if s.String() != "{1,3,5}" {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestAttrSetEmpty(t *testing.T) {
+	var s AttrSet
+	if !s.IsEmpty() || s.Len() != 0 {
+		t.Fatal("zero AttrSet should be empty")
+	}
+	if s.First() != -1 || s.Last() != -1 {
+		t.Errorf("First/Last on empty = %d/%d, want -1/-1", s.First(), s.Last())
+	}
+	if s.String() != "{}" {
+		t.Errorf("String() = %q, want {}", s.String())
+	}
+}
+
+func TestAttrSetAddRemove(t *testing.T) {
+	s := EmptyAttrSet.Add(2).Add(4).Add(2)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	s = s.Remove(2)
+	if s.Has(2) || !s.Has(4) {
+		t.Errorf("after Remove(2): %v", s)
+	}
+	s = s.Remove(63)
+	if s.Len() != 1 {
+		t.Errorf("removing absent attribute changed the set: %v", s)
+	}
+}
+
+func TestAttrSetSetOps(t *testing.T) {
+	a := NewAttrSet(0, 1, 2)
+	b := NewAttrSet(1, 2, 3)
+	if got := a.Union(b); got != NewAttrSet(0, 1, 2, 3) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); got != NewAttrSet(1, 2) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Diff(b); got != NewAttrSet(0) {
+		t.Errorf("Diff = %v", got)
+	}
+	if !NewAttrSet(1).SubsetOf(a) || NewAttrSet(3).SubsetOf(a) {
+		t.Error("SubsetOf wrong")
+	}
+	if !NewAttrSet(0, 1).ProperSubsetOf(a) || a.ProperSubsetOf(a) {
+		t.Error("ProperSubsetOf wrong")
+	}
+	if !a.Intersects(b) || a.Intersects(NewAttrSet(5)) {
+		t.Error("Intersects wrong")
+	}
+}
+
+func TestFullAttrSet(t *testing.T) {
+	if FullAttrSet(0) != 0 {
+		t.Error("FullAttrSet(0) should be empty")
+	}
+	if got := FullAttrSet(3); got != NewAttrSet(0, 1, 2) {
+		t.Errorf("FullAttrSet(3) = %v", got)
+	}
+	if FullAttrSet(64).Len() != 64 {
+		t.Errorf("FullAttrSet(64).Len() = %d", FullAttrSet(64).Len())
+	}
+}
+
+func TestAttrSetSubsets(t *testing.T) {
+	s := NewAttrSet(0, 2, 5)
+	seen := make(map[AttrSet]bool)
+	s.Subsets(func(sub AttrSet) bool {
+		if !sub.SubsetOf(s) {
+			t.Errorf("subset %v not contained in %v", sub, s)
+		}
+		if seen[sub] {
+			t.Errorf("subset %v enumerated twice", sub)
+		}
+		seen[sub] = true
+		return true
+	})
+	if len(seen) != 8 {
+		t.Errorf("enumerated %d subsets, want 8", len(seen))
+	}
+	// Early termination.
+	count := 0
+	s.Subsets(func(AttrSet) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Errorf("early termination visited %d subsets, want 3", count)
+	}
+}
+
+func TestAttrSetImmediateSubsets(t *testing.T) {
+	s := NewAttrSet(1, 4, 7)
+	got := make(map[int]AttrSet)
+	s.ImmediateSubsets(func(removed int, sub AttrSet) bool {
+		got[removed] = sub
+		return true
+	})
+	if len(got) != 3 {
+		t.Fatalf("got %d immediate subsets, want 3", len(got))
+	}
+	for _, a := range []int{1, 4, 7} {
+		sub, ok := got[a]
+		if !ok {
+			t.Errorf("missing immediate subset removing %d", a)
+			continue
+		}
+		if sub != s.Remove(a) {
+			t.Errorf("immediate subset for %d = %v, want %v", a, sub, s.Remove(a))
+		}
+	}
+}
+
+func TestAttrSetForEachOrder(t *testing.T) {
+	s := NewAttrSet(9, 3, 40)
+	var order []int
+	s.ForEach(func(a int) { order = append(order, a) })
+	if len(order) != 3 || order[0] != 3 || order[1] != 9 || order[2] != 40 {
+		t.Errorf("ForEach order = %v, want ascending [3 9 40]", order)
+	}
+}
+
+func TestAttrSetProperties(t *testing.T) {
+	// Union is commutative and Len of union is bounded by sum of lengths.
+	f := func(x, y uint16) bool {
+		a, b := AttrSet(x), AttrSet(y)
+		if a.Union(b) != b.Union(a) {
+			return false
+		}
+		if a.Union(b).Len() > a.Len()+b.Len() {
+			return false
+		}
+		if !a.Intersect(b).SubsetOf(a) || !a.Intersect(b).SubsetOf(b) {
+			return false
+		}
+		if !a.Diff(b).SubsetOf(a) || a.Diff(b).Intersects(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAttrSetAttrsRoundTrip(t *testing.T) {
+	f := func(x uint32) bool {
+		s := AttrSet(x)
+		return NewAttrSet(s.Attrs()...) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"sort"
+	"strings"
+)
+
+// CFD is an encoded conditional functional dependency (X → A, tp): LHS is the
+// attribute set X, RHS the single attribute A, and Tp the pattern tuple whose
+// entries are meaningful on X ∪ {A} (constants or Wildcard).
+type CFD struct {
+	LHS AttrSet
+	RHS int
+	Tp  Pattern
+}
+
+// IsTrivial reports whether the CFD is trivial, i.e. its RHS attribute also
+// appears in its LHS.
+func (c CFD) IsTrivial() bool { return c.LHS.Has(c.RHS) }
+
+// IsConstant reports whether the CFD is a constant CFD: every pattern entry
+// over LHS ∪ {RHS} is a constant.
+func (c CFD) IsConstant() bool {
+	return c.Tp[c.RHS] != Wildcard && c.Tp.IsConstant(c.LHS)
+}
+
+// IsVariable reports whether the CFD is a variable CFD: the RHS pattern entry
+// is the unnamed variable.
+func (c CFD) IsVariable() bool { return c.Tp[c.RHS] == Wildcard }
+
+// Attrs returns LHS ∪ {RHS}.
+func (c CFD) Attrs() AttrSet { return c.LHS.Add(c.RHS) }
+
+// Key returns a canonical string key identifying the CFD (LHS, RHS and the
+// pattern restricted to LHS ∪ {RHS}), suitable for deduplication across
+// algorithms.
+func (c CFD) Key() string {
+	var b strings.Builder
+	b.WriteString(c.LHS.String())
+	b.WriteString("->")
+	b.WriteString(itoa(c.RHS))
+	b.WriteByte('|')
+	b.WriteString(c.Tp.Key(c.Attrs()))
+	return b.String()
+}
+
+// Format renders the CFD in the paper's notation using the relation's schema
+// and dictionaries, e.g. "([CC,AC] -> CT, (01, 908 || MH))".
+func (c CFD) Format(r *Relation) string {
+	var b strings.Builder
+	b.WriteString("([")
+	first := true
+	c.LHS.ForEach(func(a int) {
+		if !first {
+			b.WriteString(",")
+		}
+		first = false
+		b.WriteString(r.Schema().Name(a))
+	})
+	b.WriteString("] -> ")
+	b.WriteString(r.Schema().Name(c.RHS))
+	b.WriteString(", (")
+	first = true
+	c.LHS.ForEach(func(a int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		if c.Tp[a] == Wildcard {
+			b.WriteByte('_')
+		} else {
+			b.WriteString(r.Dict(a).Value(c.Tp[a]))
+		}
+	})
+	b.WriteString(" || ")
+	if c.Tp[c.RHS] == Wildcard {
+		b.WriteByte('_')
+	} else {
+		b.WriteString(r.Dict(c.RHS).Value(c.Tp[c.RHS]))
+	}
+	b.WriteString("))")
+	return b.String()
+}
+
+// Satisfies reports whether r ⊨ c under the exact pair semantics of the paper:
+// for every pair of tuples t1, t2 (including t1 = t2), if t1[X] = t2[X] ≼ tp[X]
+// then t1[A] = t2[A] ≼ tp[A].
+func Satisfies(r *Relation, c CFD) bool {
+	if c.IsTrivial() {
+		// A trivial CFD holds iff either its two occurrences of the RHS pattern
+		// agree, or no tuple matches its LHS pattern. With a single stored
+		// pattern entry per attribute the two occurrences always agree.
+		return true
+	}
+	rhsConst := c.Tp[c.RHS]
+	groups := make(map[string]int32)
+	var keyBuf []byte
+	attrs := c.LHS.Attrs()
+	for t := 0; t < r.Size(); t++ {
+		if !c.Tp.MatchesTuple(r, t, c.LHS) {
+			continue
+		}
+		av := r.Value(t, c.RHS)
+		if rhsConst != Wildcard && av != rhsConst {
+			return false
+		}
+		keyBuf = keyBuf[:0]
+		for _, a := range attrs {
+			keyBuf = appendCode(keyBuf, r.Value(t, a))
+		}
+		k := string(keyBuf)
+		if prev, ok := groups[k]; ok {
+			if prev != av {
+				return false
+			}
+		} else {
+			groups[k] = av
+		}
+	}
+	return true
+}
+
+// Violations returns the indexes of tuples involved in at least one violation
+// of c in r, in ascending order. A tuple t violates a constant-RHS CFD on its
+// own when it matches the LHS pattern but t[A] differs from the RHS constant;
+// a pair (t1, t2) violates a variable-RHS CFD when both match the LHS pattern,
+// agree on the LHS attributes, and disagree on the RHS attribute.
+func Violations(r *Relation, c CFD) []int {
+	if c.IsTrivial() {
+		return nil
+	}
+	rhsConst := c.Tp[c.RHS]
+	attrs := c.LHS.Attrs()
+	type group struct {
+		tids   []int
+		values map[int32]bool
+	}
+	groups := make(map[string]*group)
+	var keyBuf []byte
+	bad := make(map[int]bool)
+	for t := 0; t < r.Size(); t++ {
+		if !c.Tp.MatchesTuple(r, t, c.LHS) {
+			continue
+		}
+		av := r.Value(t, c.RHS)
+		if rhsConst != Wildcard && av != rhsConst {
+			bad[t] = true
+		}
+		keyBuf = keyBuf[:0]
+		for _, a := range attrs {
+			keyBuf = appendCode(keyBuf, r.Value(t, a))
+		}
+		k := string(keyBuf)
+		g := groups[k]
+		if g == nil {
+			g = &group{values: make(map[int32]bool)}
+			groups[k] = g
+		}
+		g.tids = append(g.tids, t)
+		g.values[av] = true
+	}
+	for _, g := range groups {
+		if len(g.values) > 1 {
+			for _, t := range g.tids {
+				bad[t] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(bad))
+	for t := range bad {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Support returns |sup(c, r)|: the number of tuples matching the pattern of c
+// on LHS ∪ {RHS}.
+func Support(r *Relation, c CFD) int {
+	return r.CountMatching(c.Attrs(), c.Tp)
+}
+
+// LHSConstantSupport returns the support of the constant part of the LHS
+// pattern of c, which is the quantity the paper uses to define k-frequency of
+// lattice elements (§4.2).
+func LHSConstantSupport(r *Relation, c CFD) int {
+	constAttrs := c.Tp.ConstAttrs(c.LHS)
+	return r.CountMatching(constAttrs, c.Tp)
+}
+
+// IsKFrequent reports whether c is k-frequent in r: sup(c, r) ≥ k.
+func IsKFrequent(r *Relation, c CFD, k int) bool {
+	return Support(r, c) >= k
+}
+
+// IsLeftReduced reports whether c is left-reduced on r per §2.2.1:
+//
+//   - constant CFD (X → A, (tp ‖ a)): no proper subset Y ⊊ X satisfies
+//     (Y → A, (tp[Y] ‖ a));
+//   - variable CFD (X → A, (tp ‖ _)): (1) no proper subset Y ⊊ X satisfies
+//     (Y → A, (tp[Y] ‖ _)), and (2) no strictly more general LHS pattern t'p
+//     (some constant upgraded to "_") satisfies (X → A, (t'p ‖ _)).
+//
+// Because satisfaction is monotone when attributes are added to the LHS (with
+// the same restricted pattern) and when LHS patterns are specialised, checking
+// immediate subsets and single-constant upgrades is sufficient.
+func IsLeftReduced(r *Relation, c CFD) bool {
+	reduced := true
+	c.LHS.ImmediateSubsets(func(_ int, sub AttrSet) bool {
+		smaller := CFD{LHS: sub, RHS: c.RHS, Tp: c.Tp}
+		if Satisfies(r, smaller) {
+			reduced = false
+			return false
+		}
+		return true
+	})
+	if !reduced {
+		return false
+	}
+	if c.IsVariable() {
+		constAttrs := c.Tp.ConstAttrs(c.LHS)
+		ok := true
+		constAttrs.ForEach(func(a int) {
+			if !ok {
+				return
+			}
+			up := c.Tp.Clone()
+			up[a] = Wildcard
+			if Satisfies(r, CFD{LHS: c.LHS, RHS: c.RHS, Tp: up}) {
+				ok = false
+			}
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMinimal reports whether c is a minimal CFD on r: nontrivial, satisfied by
+// r, and left-reduced.
+func IsMinimal(r *Relation, c CFD) bool {
+	return !c.IsTrivial() && Satisfies(r, c) && IsLeftReduced(r, c)
+}
+
+// SortCFDs sorts a slice of CFDs by their canonical key, for deterministic
+// output and easy comparison in tests.
+func SortCFDs(cfds []CFD) {
+	sort.Slice(cfds, func(i, j int) bool { return cfds[i].Key() < cfds[j].Key() })
+}
+
+// DedupCFDs returns cfds with duplicates (by canonical key) removed, preserving
+// the first occurrence of each.
+func DedupCFDs(cfds []CFD) []CFD {
+	seen := make(map[string]bool, len(cfds))
+	out := cfds[:0]
+	for _, c := range cfds {
+		k := c.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+// appendCode appends the little-endian bytes of v to buf; used to build
+// composite map keys from encoded values.
+func appendCode(buf []byte, v int32) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}

@@ -1,0 +1,17 @@
+// Package core provides the encoded data model shared by every CFD discovery
+// algorithm in this repository: dictionary-encoded relations, attribute bitsets,
+// pattern tuples over encoded values, and the exact satisfaction, support and
+// violation primitives of conditional functional dependencies.
+//
+// All discovery algorithms (CFDMiner, CTANE, FastCFD, NaiveFast, TANE, FastFD)
+// operate on this representation. The public packages cfd, discovery, dataset
+// and cleaning translate between user-facing strings and the encoded form.
+//
+// Encoding conventions:
+//
+//   - Every attribute column is stored column-major as []int32 codes over a
+//     per-attribute dictionary (see Dict). Codes are dense, starting at 0.
+//   - The unnamed variable "_" of a CFD pattern tuple is the code Wildcard (-1).
+//   - Attribute sets are AttrSet bitsets (one uint64), capping the arity at 64,
+//     well above the paper's maximum of 31.
+package core

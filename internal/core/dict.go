@@ -1,0 +1,44 @@
+package core
+
+// Dict is a per-attribute dictionary mapping attribute values (strings) to dense
+// int32 codes and back. Codes are assigned in first-seen order starting at 0.
+type Dict struct {
+	codes  map[string]int32
+	values []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{codes: make(map[string]int32)}
+}
+
+// Encode returns the code for v, assigning a fresh one if v was never seen.
+func (d *Dict) Encode(v string) int32 {
+	if c, ok := d.codes[v]; ok {
+		return c
+	}
+	c := int32(len(d.values))
+	d.codes[v] = c
+	d.values = append(d.values, v)
+	return c
+}
+
+// Lookup returns the code for v and whether v is present, without inserting.
+func (d *Dict) Lookup(v string) (int32, bool) {
+	c, ok := d.codes[v]
+	return c, ok
+}
+
+// Value returns the string for code c. It panics if c is out of range; callers
+// must only pass codes previously returned by Encode.
+func (d *Dict) Value(c int32) string {
+	return d.values[c]
+}
+
+// Size returns the number of distinct values in the dictionary, i.e. the size
+// of the active domain of the attribute.
+func (d *Dict) Size() int { return len(d.values) }
+
+// Values returns the distinct values in code order. The returned slice is the
+// dictionary's backing storage and must not be modified.
+func (d *Dict) Values() []string { return d.values }

@@ -1,0 +1,146 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixture"
+)
+
+// randomCFD draws a random nontrivial CFD over the relation's schema, with
+// constants taken from the active domains.
+func randomCFD(rng *rand.Rand, r *core.Relation) core.CFD {
+	arity := r.Arity()
+	rhs := rng.Intn(arity)
+	lhs := core.EmptyAttrSet
+	for a := 0; a < arity; a++ {
+		if a != rhs && rng.Intn(2) == 0 {
+			lhs = lhs.Add(a)
+		}
+	}
+	tp := core.NewPattern(arity)
+	lhs.ForEach(func(a int) {
+		switch rng.Intn(3) {
+		case 0:
+			tp[a] = int32(rng.Intn(r.DomainSize(a)))
+		default:
+			// keep the wildcard
+		}
+	})
+	if rng.Intn(2) == 0 {
+		tp[rhs] = int32(rng.Intn(r.DomainSize(rhs)))
+	}
+	return core.CFD{LHS: lhs, RHS: rhs, Tp: tp}
+}
+
+// TestSatisfactionProperties checks, over many random relations and CFDs, the
+// structural properties the algorithms rely on:
+//
+//  1. violations are empty exactly when the CFD is satisfied;
+//  2. satisfaction is preserved when a wildcard of the LHS pattern is
+//     specialised to a constant (fewer matching tuples, finer groups);
+//  3. satisfaction is preserved when an attribute is added to the LHS;
+//  4. support never grows when the pattern is specialised;
+//  5. minimal CFDs are satisfied and nontrivial.
+func TestSatisfactionProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		r := fixture.Random(int64(trial), 30+rng.Intn(40), []int{2, 3, 2, 4})
+		for i := 0; i < 20; i++ {
+			c := randomCFD(rng, r)
+			sat := core.Satisfies(r, c)
+			viol := core.Violations(r, c)
+			if sat != (len(viol) == 0) {
+				t.Fatalf("trial %d: Satisfies=%v but %d violations for %s", trial, sat, len(viol), c.Format(r))
+			}
+			if sat {
+				// Specialise one wildcard LHS entry to a constant.
+				wild := c.Tp.WildcardAttrs(c.LHS)
+				if !wild.IsEmpty() {
+					a := wild.Attrs()[rng.Intn(wild.Len())]
+					spec := c.Tp.Clone()
+					spec[a] = int32(rng.Intn(r.DomainSize(a)))
+					if !core.Satisfies(r, core.CFD{LHS: c.LHS, RHS: c.RHS, Tp: spec}) {
+						t.Fatalf("trial %d: specialising %s broke satisfaction", trial, c.Format(r))
+					}
+				}
+				// Add an attribute to the LHS.
+				outside := r.Schema().All().Diff(c.LHS).Remove(c.RHS)
+				if !outside.IsEmpty() {
+					a := outside.Attrs()[rng.Intn(outside.Len())]
+					if !core.Satisfies(r, core.CFD{LHS: c.LHS.Add(a), RHS: c.RHS, Tp: c.Tp}) {
+						t.Fatalf("trial %d: enlarging the LHS of %s broke satisfaction", trial, c.Format(r))
+					}
+				}
+			}
+			// Support monotonicity under specialisation.
+			wild := c.Tp.WildcardAttrs(c.LHS)
+			if !wild.IsEmpty() {
+				a := wild.Attrs()[rng.Intn(wild.Len())]
+				spec := c.Tp.Clone()
+				spec[a] = int32(rng.Intn(r.DomainSize(a)))
+				before := core.Support(r, c)
+				after := core.Support(r, core.CFD{LHS: c.LHS, RHS: c.RHS, Tp: spec})
+				if after > before {
+					t.Fatalf("trial %d: support grew from %d to %d under specialisation of %s", trial, before, after, c.Format(r))
+				}
+			}
+			if core.IsMinimal(r, c) {
+				if c.IsTrivial() || !sat {
+					t.Fatalf("trial %d: IsMinimal accepted a trivial or violated CFD %s", trial, c.Format(r))
+				}
+				if !core.IsLeftReduced(r, c) {
+					t.Fatalf("trial %d: IsMinimal accepted a non-left-reduced CFD %s", trial, c.Format(r))
+				}
+			}
+		}
+	}
+}
+
+// TestLeftReducedConsistency verifies on random data that a left-reduced,
+// satisfied CFD loses satisfaction when any LHS attribute is dropped, and that
+// non-left-reduced satisfied CFDs have a satisfied immediate generalisation.
+func TestLeftReducedConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		r := fixture.RandomCorrelated(int64(trial), 50, 4, 3)
+		for i := 0; i < 15; i++ {
+			c := randomCFD(rng, r)
+			if c.LHS.IsEmpty() || !core.Satisfies(r, c) {
+				continue
+			}
+			if core.IsLeftReduced(r, c) {
+				c.LHS.ImmediateSubsets(func(_ int, sub core.AttrSet) bool {
+					if core.Satisfies(r, core.CFD{LHS: sub, RHS: c.RHS, Tp: c.Tp}) {
+						t.Fatalf("trial %d: %s is left-reduced but a subset still satisfies", trial, c.Format(r))
+					}
+					return true
+				})
+			} else {
+				// Some immediate generalisation (drop an attribute or upgrade a
+				// constant) must be satisfied.
+				found := false
+				c.LHS.ImmediateSubsets(func(_ int, sub core.AttrSet) bool {
+					if core.Satisfies(r, core.CFD{LHS: sub, RHS: c.RHS, Tp: c.Tp}) {
+						found = true
+						return false
+					}
+					return true
+				})
+				if !found && c.IsVariable() {
+					c.Tp.ConstAttrs(c.LHS).ForEach(func(a int) {
+						up := c.Tp.Clone()
+						up[a] = core.Wildcard
+						if core.Satisfies(r, core.CFD{LHS: c.LHS, RHS: c.RHS, Tp: up}) {
+							found = true
+						}
+					})
+				}
+				if !found {
+					t.Fatalf("trial %d: %s reported non-left-reduced but no generalisation holds", trial, c.Format(r))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Relation is a dictionary-encoded instance of a Schema. Values are stored
+// column-major: Column(a)[t] is the code of tuple t's value for attribute a.
+type Relation struct {
+	schema *Schema
+	cols   [][]int32
+	dicts  []*Dict
+	size   int
+}
+
+// NewRelation returns an empty relation over the given schema.
+func NewRelation(schema *Schema) *Relation {
+	n := schema.Arity()
+	r := &Relation{
+		schema: schema,
+		cols:   make([][]int32, n),
+		dicts:  make([]*Dict, n),
+	}
+	for i := 0; i < n; i++ {
+		r.dicts[i] = NewDict()
+	}
+	return r
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return r.schema.Arity() }
+
+// Size returns the number of tuples.
+func (r *Relation) Size() int { return r.size }
+
+// AppendRow appends one tuple given as strings in schema order, encoding each
+// value through the per-attribute dictionary.
+func (r *Relation) AppendRow(values []string) error {
+	if len(values) != r.Arity() {
+		return fmt.Errorf("core: row has %d values, schema has %d attributes", len(values), r.Arity())
+	}
+	for a, v := range values {
+		r.cols[a] = append(r.cols[a], r.dicts[a].Encode(v))
+	}
+	r.size++
+	return nil
+}
+
+// AppendIntRow appends one tuple given as integers in schema order. Integers
+// are encoded through the same dictionaries as their decimal string form, so
+// string- and int-based loading interoperate.
+func (r *Relation) AppendIntRow(values []int) error {
+	if len(values) != r.Arity() {
+		return fmt.Errorf("core: row has %d values, schema has %d attributes", len(values), r.Arity())
+	}
+	for a, v := range values {
+		r.cols[a] = append(r.cols[a], r.dicts[a].Encode(strconv.Itoa(v)))
+	}
+	r.size++
+	return nil
+}
+
+// Value returns the encoded value of tuple t for attribute a.
+func (r *Relation) Value(t, a int) int32 { return r.cols[a][t] }
+
+// ValueString returns the original string value of tuple t for attribute a.
+func (r *Relation) ValueString(t, a int) string { return r.dicts[a].Value(r.cols[a][t]) }
+
+// Column returns the encoded column of attribute a. The returned slice is the
+// relation's backing storage and must not be modified.
+func (r *Relation) Column(a int) []int32 { return r.cols[a] }
+
+// Dict returns the dictionary of attribute a.
+func (r *Relation) Dict(a int) *Dict { return r.dicts[a] }
+
+// DomainSize returns the active-domain size of attribute a.
+func (r *Relation) DomainSize(a int) int { return r.dicts[a].Size() }
+
+// Row returns tuple t decoded to strings in schema order.
+func (r *Relation) Row(t int) []string {
+	out := make([]string, r.Arity())
+	for a := range out {
+		out[a] = r.ValueString(t, a)
+	}
+	return out
+}
+
+// CodedRow returns tuple t as encoded values in schema order.
+func (r *Relation) CodedRow(t int) []int32 {
+	out := make([]int32, r.Arity())
+	for a := range out {
+		out[a] = r.cols[a][t]
+	}
+	return out
+}
+
+// Restrict returns a new relation over a schema containing only the attributes
+// in keep (in ascending attribute order), with all tuples re-encoded. It is
+// used to build lower-arity projections of generated datasets.
+func (r *Relation) Restrict(keep AttrSet) (*Relation, error) {
+	attrs := keep.Attrs()
+	names := make([]string, len(attrs))
+	for i, a := range attrs {
+		if a >= r.Arity() {
+			return nil, fmt.Errorf("%w: attribute index %d", ErrUnknownAttr, a)
+		}
+		names[i] = r.schema.Name(a)
+	}
+	schema, err := NewSchema(names...)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(schema)
+	row := make([]string, len(attrs))
+	for t := 0; t < r.size; t++ {
+		for i, a := range attrs {
+			row[i] = r.ValueString(t, a)
+		}
+		if err := out.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Head returns a new relation containing the first n tuples of r (or all of r
+// if n exceeds its size). It is used by the benchmark harness to sweep DBSIZE
+// from a single generated dataset.
+func (r *Relation) Head(n int) *Relation {
+	if n > r.size {
+		n = r.size
+	}
+	out := NewRelation(r.schema)
+	for t := 0; t < n; t++ {
+		_ = out.AppendRow(r.Row(t))
+	}
+	return out
+}
+
+// MatchingTuples returns the tuple indexes whose values match the constants of
+// pattern p on the attributes X. Wildcard entries match every value. The empty
+// attribute set matches all tuples.
+func (r *Relation) MatchingTuples(X AttrSet, p Pattern) []int32 {
+	out := make([]int32, 0, r.size)
+	attrs := X.Attrs()
+	for t := 0; t < r.size; t++ {
+		ok := true
+		for _, a := range attrs {
+			if p[a] != Wildcard && r.cols[a][t] != p[a] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, int32(t))
+		}
+	}
+	return out
+}
+
+// CountMatching returns the number of tuples matching the constants of pattern
+// p on the attributes X.
+func (r *Relation) CountMatching(X AttrSet, p Pattern) int {
+	n := 0
+	attrs := X.Attrs()
+	for t := 0; t < r.size; t++ {
+		ok := true
+		for _, a := range attrs {
+			if p[a] != Wildcard && r.cols[a][t] != p[a] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			n++
+		}
+	}
+	return n
+}

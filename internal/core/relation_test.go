@@ -1,0 +1,181 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewSchemaErrors(t *testing.T) {
+	if _, err := NewSchema("A", "B", "A"); !errors.Is(err, ErrDuplicateAttr) {
+		t.Errorf("duplicate attr: err = %v, want ErrDuplicateAttr", err)
+	}
+	if _, err := NewSchema("A", ""); err == nil {
+		t.Error("empty attribute name should be rejected")
+	}
+	many := make([]string, 65)
+	for i := range many {
+		many[i] = "A" + itoa(i)
+	}
+	if _, err := NewSchema(many...); !errors.Is(err, ErrArityTooLarge) {
+		t.Errorf("65 attrs: err = %v, want ErrArityTooLarge", err)
+	}
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := MustSchema("CC", "AC", "PN")
+	if s.Arity() != 3 {
+		t.Fatalf("Arity = %d", s.Arity())
+	}
+	if i, ok := s.Index("AC"); !ok || i != 1 {
+		t.Errorf("Index(AC) = %d,%v", i, ok)
+	}
+	if _, ok := s.Index("XX"); ok {
+		t.Error("Index(XX) should not be found")
+	}
+	set, err := s.AttrSetOf("CC", "PN")
+	if err != nil || set != NewAttrSet(0, 2) {
+		t.Errorf("AttrSetOf = %v, %v", set, err)
+	}
+	if _, err := s.AttrSetOf("NOPE"); !errors.Is(err, ErrUnknownAttr) {
+		t.Errorf("unknown attr err = %v", err)
+	}
+	if s.All() != NewAttrSet(0, 1, 2) {
+		t.Errorf("All = %v", s.All())
+	}
+	names := s.Names()
+	names[0] = "mutated"
+	if s.Name(0) != "CC" {
+		t.Error("Names() must return a copy")
+	}
+}
+
+func TestDictEncodeDecode(t *testing.T) {
+	d := NewDict()
+	a := d.Encode("x")
+	b := d.Encode("y")
+	if a == b {
+		t.Fatal("distinct values must get distinct codes")
+	}
+	if d.Encode("x") != a {
+		t.Error("re-encoding must be stable")
+	}
+	if d.Size() != 2 {
+		t.Errorf("Size = %d", d.Size())
+	}
+	if d.Value(a) != "x" || d.Value(b) != "y" {
+		t.Error("Value round trip failed")
+	}
+	if c, ok := d.Lookup("x"); !ok || c != a {
+		t.Error("Lookup failed")
+	}
+	if _, ok := d.Lookup("z"); ok {
+		t.Error("Lookup of absent value should fail")
+	}
+}
+
+func TestRelationAppendAndAccess(t *testing.T) {
+	r := NewRelation(MustSchema("A", "B"))
+	if err := r.AppendRow([]string{"1", "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AppendRow([]string{"2", "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AppendRow([]string{"1"}); err == nil {
+		t.Error("short row should be rejected")
+	}
+	if r.Size() != 2 || r.Arity() != 2 {
+		t.Fatalf("Size/Arity = %d/%d", r.Size(), r.Arity())
+	}
+	if r.ValueString(0, 0) != "1" || r.ValueString(1, 1) != "x" {
+		t.Error("ValueString round trip failed")
+	}
+	if r.Value(0, 1) != r.Value(1, 1) {
+		t.Error("equal strings must share a code")
+	}
+	if r.DomainSize(0) != 2 || r.DomainSize(1) != 1 {
+		t.Errorf("DomainSize = %d/%d", r.DomainSize(0), r.DomainSize(1))
+	}
+	row := r.Row(1)
+	if len(row) != 2 || row[0] != "2" || row[1] != "x" {
+		t.Errorf("Row(1) = %v", row)
+	}
+	coded := r.CodedRow(0)
+	if len(coded) != 2 || coded[0] != r.Value(0, 0) {
+		t.Errorf("CodedRow = %v", coded)
+	}
+}
+
+func TestRelationAppendIntRow(t *testing.T) {
+	r := NewRelation(MustSchema("A", "B"))
+	if err := r.AppendIntRow([]int{7, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AppendRow([]string{"7", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AppendIntRow([]int{7}); err == nil {
+		t.Error("short int row should be rejected")
+	}
+	if r.Value(0, 0) != r.Value(1, 0) {
+		t.Error("int 7 and string \"7\" must encode identically")
+	}
+}
+
+func TestRelationRestrictAndHead(t *testing.T) {
+	r := NewRelation(MustSchema("A", "B", "C"))
+	rows := [][]string{{"1", "x", "p"}, {"2", "y", "q"}, {"3", "z", "r"}}
+	for _, row := range rows {
+		if err := r.AppendRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub, err := r.Restrict(NewAttrSet(0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Arity() != 2 || sub.Schema().Name(1) != "C" {
+		t.Fatalf("Restrict schema wrong: %v", sub.Schema().Names())
+	}
+	if sub.ValueString(1, 1) != "q" {
+		t.Errorf("Restrict values wrong: %q", sub.ValueString(1, 1))
+	}
+	h := r.Head(2)
+	if h.Size() != 2 || h.ValueString(1, 1) != "y" {
+		t.Errorf("Head wrong: size=%d", h.Size())
+	}
+	if r.Head(99).Size() != 3 {
+		t.Error("Head beyond size must return whole relation")
+	}
+}
+
+func TestMatchingTuples(t *testing.T) {
+	r := NewRelation(MustSchema("A", "B"))
+	data := [][]string{{"1", "x"}, {"1", "y"}, {"2", "x"}, {"1", "x"}}
+	for _, row := range data {
+		if err := r.AppendRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := NewPattern(2)
+	p[0], _ = r.Dict(0).Lookup("1")
+	tids := r.MatchingTuples(NewAttrSet(0), p)
+	if len(tids) != 3 {
+		t.Errorf("matching A=1: %v", tids)
+	}
+	if got := r.CountMatching(NewAttrSet(0), p); got != 3 {
+		t.Errorf("CountMatching = %d", got)
+	}
+	p[1], _ = r.Dict(1).Lookup("x")
+	tids = r.MatchingTuples(NewAttrSet(0, 1), p)
+	if len(tids) != 2 || tids[0] != 0 || tids[1] != 3 {
+		t.Errorf("matching A=1,B=x: %v", tids)
+	}
+	// Wildcards and the empty attribute set match everything.
+	if got := len(r.MatchingTuples(EmptyAttrSet, NewPattern(2))); got != 4 {
+		t.Errorf("empty set should match all tuples, got %d", got)
+	}
+	if got := len(r.MatchingTuples(NewAttrSet(0, 1), NewPattern(2))); got != 4 {
+		t.Errorf("all-wildcard pattern should match all tuples, got %d", got)
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrArityTooLarge is returned when a schema declares more than MaxArity attributes.
+var ErrArityTooLarge = errors.New("core: schema arity exceeds 64 attributes")
+
+// ErrDuplicateAttr is returned when a schema declares the same attribute twice.
+var ErrDuplicateAttr = errors.New("core: duplicate attribute name")
+
+// ErrUnknownAttr is returned when an attribute name is not part of the schema.
+var ErrUnknownAttr = errors.New("core: unknown attribute")
+
+// Schema is a relation schema: an ordered list of attribute names.
+type Schema struct {
+	names []string
+	index map[string]int
+}
+
+// NewSchema builds a schema from the given attribute names. Names must be
+// non-empty, unique and at most MaxArity in number.
+func NewSchema(names ...string) (*Schema, error) {
+	if len(names) > MaxArity {
+		return nil, fmt.Errorf("%w: %d attributes", ErrArityTooLarge, len(names))
+	}
+	s := &Schema{
+		names: append([]string(nil), names...),
+		index: make(map[string]int, len(names)),
+	}
+	for i, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("core: attribute %d has an empty name", i)
+		}
+		if _, dup := s.index[n]; dup {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateAttr, n)
+		}
+		s.index[n] = i
+	}
+	return s, nil
+}
+
+// MustSchema is like NewSchema but panics on error. It is intended for tests
+// and for generators with fixed, known-good attribute lists.
+func MustSchema(names ...string) *Schema {
+	s, err := NewSchema(names...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Arity returns the number of attributes.
+func (s *Schema) Arity() int { return len(s.names) }
+
+// Name returns the name of attribute i.
+func (s *Schema) Name(i int) string { return s.names[i] }
+
+// Names returns a copy of the attribute names in schema order.
+func (s *Schema) Names() []string { return append([]string(nil), s.names...) }
+
+// Index returns the position of the named attribute.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// AttrSetOf returns the AttrSet containing the named attributes.
+func (s *Schema) AttrSetOf(names ...string) (AttrSet, error) {
+	var set AttrSet
+	for _, n := range names {
+		i, ok := s.index[n]
+		if !ok {
+			return 0, fmt.Errorf("%w: %q", ErrUnknownAttr, n)
+		}
+		set = set.Add(i)
+	}
+	return set, nil
+}
+
+// All returns the set of all attributes of the schema.
+func (s *Schema) All() AttrSet { return FullAttrSet(len(s.names)) }

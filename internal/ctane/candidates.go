@@ -1,0 +1,81 @@
+package ctane
+
+import "repro/internal/core"
+
+// candidateSet represents the set C+(X, sp) of candidate right-hand sides of a
+// lattice element (§4.1). Conceptually it is a subset of
+// attr(R) × (dom ∪ {"_"}); because it starts as the full universe and only
+// ever shrinks, it is stored as its complement: attributes removed entirely
+// plus individually removed (attribute, value) pairs.
+type candidateSet struct {
+	removedAttrs core.AttrSet
+	removedVals  map[int]map[int32]bool
+}
+
+func newCandidateSet() *candidateSet {
+	return &candidateSet{}
+}
+
+// has reports whether (attr, val) is still a candidate. The wildcard value is
+// represented by core.Wildcard.
+func (c *candidateSet) has(attr int, val int32) bool {
+	if c.removedAttrs.Has(attr) {
+		return false
+	}
+	if vs, ok := c.removedVals[attr]; ok && vs[val] {
+		return false
+	}
+	return true
+}
+
+// removeVal removes a single (attr, val) pair.
+func (c *candidateSet) removeVal(attr int, val int32) {
+	if c.removedAttrs.Has(attr) {
+		return
+	}
+	if c.removedVals == nil {
+		c.removedVals = make(map[int]map[int32]bool)
+	}
+	vs, ok := c.removedVals[attr]
+	if !ok {
+		vs = make(map[int32]bool)
+		c.removedVals[attr] = vs
+	}
+	vs[val] = true
+}
+
+// removeAttr removes every candidate on the given attribute.
+func (c *candidateSet) removeAttr(attr int) {
+	c.removedAttrs = c.removedAttrs.Add(attr)
+	if c.removedVals != nil {
+		delete(c.removedVals, attr)
+	}
+}
+
+// allAttrsRemoved reports whether every attribute has been removed entirely.
+// It is a conservative emptiness test: a true result implies C+ is empty, so
+// pruning on it is always safe, while some genuinely empty sets may be missed
+// (costing time, never correctness).
+func (c *candidateSet) allAttrsRemoved(arity int) bool {
+	return core.FullAttrSet(arity).Diff(c.removedAttrs).IsEmpty()
+}
+
+// intersectCandidates returns the intersection of several candidate sets,
+// which in the complement representation is the union of their removals.
+func intersectCandidates(sets []*candidateSet) *candidateSet {
+	out := newCandidateSet()
+	for _, s := range sets {
+		out.removedAttrs = out.removedAttrs.Union(s.removedAttrs)
+	}
+	for _, s := range sets {
+		for attr, vs := range s.removedVals {
+			if out.removedAttrs.Has(attr) {
+				continue
+			}
+			for v := range vs {
+				out.removeVal(attr, v)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,327 @@
+// Package ctane implements CTANE (§4 of the paper): levelwise discovery of
+// minimal, k-frequent conditional functional dependencies over an
+// attribute-set/pattern lattice. It extends TANE with pattern tuples: a lattice
+// element is a pair (X, sp) of an attribute set and a pattern of constants and
+// unnamed variables over X, and candidate CFDs (X\{A} → A, (sp[X\{A}] ‖ sp[A]))
+// are validated with stripped partitions and pruned through the C+ candidate
+// sets maintained across levels.
+package ctane
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+)
+
+// Options configures a CTANE run.
+type Options struct {
+	// K is the support threshold: only k-frequent CFDs are reported. Values
+	// below 1 are treated as 1.
+	K int
+	// MaxLHS, when positive, bounds the size of the left-hand side of reported
+	// CFDs (and therefore the depth of the lattice traversal).
+	MaxLHS int
+}
+
+// Mine returns the minimal k-frequent CFDs of r discovered by CTANE.
+func Mine(r *core.Relation, k int) []core.CFD {
+	return MineWithOptions(r, Options{K: k})
+}
+
+// element is one node of the attribute-set/pattern lattice.
+type element struct {
+	attrs   core.AttrSet
+	tp      core.Pattern
+	part    *partition.Partition
+	cplus   *candidateSet
+	key     string
+	constK  string // key of the constant part of the pattern
+	support int    // number of tuples matching the constant part
+}
+
+// MineWithOptions runs CTANE with explicit options.
+func MineWithOptions(r *core.Relation, opts Options) []core.CFD {
+	k := opts.K
+	if k < 1 {
+		k = 1
+	}
+	n := r.Size()
+	arity := r.Arity()
+	if n < k || arity == 0 {
+		return nil
+	}
+	all := r.Schema().All()
+	maxLevel := arity
+	if opts.MaxLHS > 0 && opts.MaxLHS+1 < maxLevel {
+		maxLevel = opts.MaxLHS + 1
+	}
+
+	// Tid lists of single items, used to maintain constant-part supports.
+	itemTids := make([]map[int32][]int32, arity)
+	for a := 0; a < arity; a++ {
+		itemTids[a] = make(map[int32][]int32, r.DomainSize(a))
+		for t, v := range r.Column(a) {
+			itemTids[a][v] = append(itemTids[a][v], int32(t))
+		}
+	}
+	allTids := make([]int32, n)
+	for t := range allTids {
+		allTids[t] = int32(t)
+	}
+	wild := core.NewPattern(arity)
+	// Cache of constant-part tid lists keyed by the constant pattern's key.
+	constTids := map[string][]int32{wild.Key(core.EmptyAttrSet): allTids}
+
+	// Virtual level-0 element: empty attribute set, one equivalence class.
+	emptyPart := &partition.Partition{Covered: n}
+	if n >= 2 {
+		emptyPart.Classes = [][]int32{allTids}
+	}
+	emptyElem := &element{
+		attrs: core.EmptyAttrSet, tp: wild, part: emptyPart,
+		cplus: newCandidateSet(), key: wild.Key(core.EmptyAttrSet),
+		constK: wild.Key(core.EmptyAttrSet), support: n,
+	}
+	prevByKey := map[string]*element{emptyElem.key: emptyElem}
+
+	// Level 1: (A, "_") for every attribute plus (A, a) for every k-frequent value.
+	var level []*element
+	for a := 0; a < arity; a++ {
+		wp := partition.FromAttribute(r, a)
+		level = append(level, &element{
+			attrs: core.SingleAttr(a), tp: wild, part: wp,
+			key:    wild.Key(core.SingleAttr(a)),
+			constK: wild.Key(core.EmptyAttrSet), support: n,
+		})
+		values := make([]int32, 0, len(itemTids[a]))
+		for v, tids := range itemTids[a] {
+			if len(tids) >= k {
+				values = append(values, v)
+			}
+		}
+		sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+		for _, v := range values {
+			tp := wild.Clone()
+			tp[a] = v
+			constKey := tp.Key(core.SingleAttr(a))
+			constTids[constKey] = itemTids[a][v]
+			level = append(level, &element{
+				attrs: core.SingleAttr(a), tp: tp, part: partition.FromItem(r, a, v),
+				key:    constKey,
+				constK: constKey, support: len(itemTids[a][v]),
+			})
+		}
+	}
+
+	var out []core.CFD
+	for depth := 1; len(level) > 0 && depth <= maxLevel; depth++ {
+		sortLevel(level)
+		// Step 1: candidate RHS sets as intersections over immediate subsets.
+		for _, e := range level {
+			var sets []*candidateSet
+			missing := false
+			e.attrs.ImmediateSubsets(func(_ int, sub core.AttrSet) bool {
+				p, ok := prevByKey[e.tp.Key(sub)]
+				if !ok {
+					missing = true
+					return false
+				}
+				sets = append(sets, p.cplus)
+				return true
+			})
+			if missing {
+				e.cplus = newCandidateSet()
+				e.cplus.removedAttrs = all
+				continue
+			}
+			e.cplus = intersectCandidates(sets)
+		}
+		// Index by key and by attribute set (for sibling updates in Step 2.c).
+		byKey := make(map[string]*element, len(level))
+		byAttrs := make(map[core.AttrSet][]*element)
+		for _, e := range level {
+			byKey[e.key] = e
+			byAttrs[e.attrs] = append(byAttrs[e.attrs], e)
+		}
+		// Step 2: validate candidate CFDs.
+		for _, e := range level {
+			e.attrs.ForEach(func(a int) {
+				cA := e.tp[a]
+				if !e.cplus.has(a, cA) {
+					return
+				}
+				sub := e.attrs.Remove(a)
+				parent, ok := prevByKey[e.tp.Key(sub)]
+				if !ok {
+					return
+				}
+				var valid bool
+				if cA == core.Wildcard {
+					valid = partition.RefinesRHSVariable(parent.part, e.part)
+				} else {
+					valid = partition.RefinesRHSConstant(parent.part, e.part)
+				}
+				if !valid {
+					return
+				}
+				cfdTp := core.NewPattern(arity)
+				e.attrs.ForEach(func(b int) { cfdTp[b] = e.tp[b] })
+				out = append(out, core.CFD{LHS: sub, RHS: a, Tp: cfdTp})
+				// Step 2.c: the same RHS with a more specific LHS pattern can no
+				// longer be minimal, and (as in TANE) attributes outside X cannot be
+				// minimal RHS candidates for those elements either.
+				for _, s := range byAttrs[e.attrs] {
+					if s.tp[a] != cA {
+						continue
+					}
+					if !e.tp.MoreGeneralOrEqualOn(s.tp, sub) {
+						continue
+					}
+					s.cplus.removeVal(a, cA)
+					all.Diff(e.attrs).ForEach(func(b int) { s.cplus.removeAttr(b) })
+				}
+			})
+		}
+		// Step 3: prune elements with (conservatively detected) empty C+.
+		kept := level[:0]
+		for _, e := range level {
+			if e.cplus.allAttrsRemoved(arity) {
+				delete(byKey, e.key)
+				continue
+			}
+			kept = append(kept, e)
+		}
+		level = kept
+		// Step 4: generate the next level by prefix join.
+		if depth == maxLevel {
+			break
+		}
+		level = generateNextLevel(r, level, byKey, constTids, itemTids, k, n)
+		prevByKey = byKey
+	}
+
+	out = core.DedupCFDs(out)
+	core.SortCFDs(out)
+	return out
+}
+
+// generateNextLevel performs Step 4: joins pairs of elements that agree on all
+// but their largest attribute, keeps candidates whose constant part is
+// k-frequent and all of whose immediate sub-elements survived pruning, and
+// builds their partitions as products of the parents' partitions.
+func generateNextLevel(
+	r *core.Relation,
+	level []*element,
+	byKey map[string]*element,
+	constTids map[string][]int32,
+	itemTids []map[int32][]int32,
+	k, n int,
+) []*element {
+	type groupKey struct {
+		prefix core.AttrSet
+		tpKey  string
+	}
+	groups := make(map[groupKey][]*element)
+	for _, e := range level {
+		prefix := e.attrs.Remove(e.attrs.Last())
+		groups[groupKey{prefix, e.tp.Key(prefix)}] = append(groups[groupKey{prefix, e.tp.Key(prefix)}], e)
+	}
+	var next []*element
+	seen := make(map[string]bool)
+	scratch := make([]int32, n)
+	for _, group := range groups {
+		for i := 0; i < len(group); i++ {
+			for j := 0; j < len(group); j++ {
+				if i == j {
+					continue
+				}
+				x, y := group[i], group[j]
+				xLast, yLast := x.attrs.Last(), y.attrs.Last()
+				if xLast >= yLast {
+					continue
+				}
+				z := x.attrs.Union(y.attrs)
+				up := x.tp.Clone()
+				up[yLast] = y.tp[yLast]
+				key := up.Key(z)
+				if seen[key] {
+					continue
+				}
+				// Support of the constant part (Step 4.b(ii) with the k-frequency
+				// refinement of §4.2).
+				constAttrs := up.ConstAttrs(z)
+				constKey := up.Key(constAttrs)
+				tids, ok := constTids[constKey]
+				if !ok {
+					if up[yLast] == core.Wildcard {
+						tids = constTids[x.constK]
+					} else {
+						tids = intersectTids(constTids[x.constK], itemTids[yLast][up[yLast]])
+					}
+					constTids[constKey] = tids
+				}
+				if len(tids) < k || len(tids) == 0 {
+					continue
+				}
+				// Step 4.b(iii): every immediate sub-element must have survived.
+				ok = true
+				z.ImmediateSubsets(func(_ int, sub core.AttrSet) bool {
+					if _, present := byKey[up.Key(sub)]; !present {
+						ok = false
+						return false
+					}
+					return true
+				})
+				if !ok {
+					continue
+				}
+				seen[key] = true
+				part := partition.ProductWith(x.part, y.part, scratch)
+				part.Covered = len(tids)
+				next = append(next, &element{
+					attrs: z, tp: up, part: part,
+					key: key, constK: constKey, support: len(tids),
+				})
+			}
+		}
+	}
+	return next
+}
+
+// sortLevel orders a level so that, within one attribute set, more general
+// patterns (fewer constants) come before more specific ones — the order Step 2
+// relies on so that a general valid CFD removes its specialisations from the
+// C+ sets before they are examined.
+func sortLevel(level []*element) {
+	sort.Slice(level, func(i, j int) bool {
+		if level[i].attrs != level[j].attrs {
+			return level[i].attrs < level[j].attrs
+		}
+		ci := level[i].tp.ConstAttrs(level[i].attrs).Len()
+		cj := level[j].tp.ConstAttrs(level[j].attrs).Len()
+		if ci != cj {
+			return ci < cj
+		}
+		return level[i].key < level[j].key
+	})
+}
+
+// intersectTids intersects two ascending tid lists.
+func intersectTids(a, b []int32) []int32 {
+	out := make([]int32, 0)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+// Package diffset computes the difference sets used by FastCFD and FastFD
+// (§5.1 of the paper). For a constant pattern tp over attributes X, the
+// sub-relation r_tp consists of the tuples matching tp; D(r_tp) contains, for
+// every pair of tuples of r_tp, the set of attributes on which the pair
+// disagrees; and D^m_A(r_tp) contains the minimal sets of D(r_tp) restricted to
+// pairs that disagree on A, with A itself removed.
+//
+// Two backends implement the computation:
+//
+//   - Naive follows FastFD: it enumerates tuple pairs of r_tp directly. This
+//     is the backend of the NaiveFast variant evaluated in §6.
+//   - Closed derives the difference sets from the 2-frequent closed item sets
+//     of the whole relation, mined once and filtered per pattern, which is the
+//     optimisation that distinguishes FastCFD (§5.5).
+package diffset
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/itemset"
+)
+
+// Computer produces minimal difference sets for constant patterns.
+type Computer interface {
+	// MinimalDiffSets returns D^m_A(r_tp) for the sub-relation of tuples
+	// matching the constants of tp on attrs: the minimal attribute sets
+	// (excluding A itself) on which some pair of r_tp tuples that disagrees on A
+	// also disagrees.
+	MinimalDiffSets(attrs core.AttrSet, tp core.Pattern, rhs int) []core.AttrSet
+}
+
+// Minimize returns the minimal sets of the input under set inclusion, with
+// duplicates removed, sorted by size then bit pattern for determinism.
+func Minimize(sets []core.AttrSet) []core.AttrSet {
+	uniq := make(map[core.AttrSet]bool, len(sets))
+	for _, s := range sets {
+		uniq[s] = true
+	}
+	all := make([]core.AttrSet, 0, len(uniq))
+	for s := range uniq {
+		all = append(all, s)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Len() != all[j].Len() {
+			return all[i].Len() < all[j].Len()
+		}
+		return all[i] < all[j]
+	})
+	var out []core.AttrSet
+	for _, s := range all {
+		minimal := true
+		for _, m := range out {
+			if m.SubsetOf(s) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// restrictToRHS keeps the difference sets containing rhs, removes rhs from
+// them, and minimizes the result — turning D(r_tp) into D^m_A(r_tp).
+func restrictToRHS(diffs []core.AttrSet, rhs int) []core.AttrSet {
+	var out []core.AttrSet
+	for _, d := range diffs {
+		if d.Has(rhs) {
+			out = append(out, d.Remove(rhs))
+		}
+	}
+	return Minimize(out)
+}
+
+// Covers reports whether Z covers the collection of difference sets: every set
+// shares at least one attribute with Z. The empty collection is covered by any
+// set; a collection containing the empty set is covered by none.
+func Covers(Z core.AttrSet, diffs []core.AttrSet) bool {
+	for _, d := range diffs {
+		if !Z.Intersects(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMinimalCover reports whether Z covers diffs and no proper subset of Z does.
+// Because removing a single attribute from a non-minimal cover still yields a
+// cover, it suffices to check the immediate subsets of Z.
+func IsMinimalCover(Z core.AttrSet, diffs []core.AttrSet) bool {
+	if !Covers(Z, diffs) {
+		return false
+	}
+	minimal := true
+	Z.ImmediateSubsets(func(_ int, sub core.AttrSet) bool {
+		if Covers(sub, diffs) {
+			minimal = false
+			return false
+		}
+		return true
+	})
+	return minimal
+}
+
+// Naive computes difference sets by direct pairwise comparison of the tuples
+// matching the pattern, memoising per pattern (the FastFD approach used by
+// NaiveFast).
+type Naive struct {
+	r     *core.Relation
+	mu    sync.Mutex
+	cache map[string][]core.AttrSet
+}
+
+// NewNaive returns a Naive difference-set computer over r.
+func NewNaive(r *core.Relation) *Naive {
+	return &Naive{r: r, cache: make(map[string][]core.AttrSet)}
+}
+
+// MinimalDiffSets implements Computer.
+func (n *Naive) MinimalDiffSets(attrs core.AttrSet, tp core.Pattern, rhs int) []core.AttrSet {
+	return restrictToRHS(n.diffSets(attrs, tp), rhs)
+}
+
+// diffSets returns the distinct difference sets of all tuple pairs of r_tp.
+func (n *Naive) diffSets(attrs core.AttrSet, tp core.Pattern) []core.AttrSet {
+	key := tp.Key(attrs)
+	n.mu.Lock()
+	if d, ok := n.cache[key]; ok {
+		n.mu.Unlock()
+		return d
+	}
+	n.mu.Unlock()
+
+	r := n.r
+	arity := r.Arity()
+	tids := r.MatchingTuples(attrs, tp)
+	seen := make(map[core.AttrSet]bool)
+	for i := 0; i < len(tids); i++ {
+		for j := i + 1; j < len(tids); j++ {
+			var d core.AttrSet
+			for a := 0; a < arity; a++ {
+				if r.Value(int(tids[i]), a) != r.Value(int(tids[j]), a) {
+					d = d.Add(a)
+				}
+			}
+			if !d.IsEmpty() {
+				seen[d] = true
+			}
+		}
+	}
+	out := make([]core.AttrSet, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+
+	n.mu.Lock()
+	n.cache[key] = out
+	n.mu.Unlock()
+	return out
+}
+
+// Closed computes difference sets from the 2-frequent closed item sets of the
+// relation (§5.5): the agree set of any pair of tuples of r_tp is a closed
+// item set with support ≥ 2 that contains the pattern's items, so the
+// complements of the matching closed sets are a superset of the true
+// difference sets that contains every true difference set — which leaves the
+// minimal difference sets unchanged.
+type Closed struct {
+	r    *core.Relation
+	once sync.Once
+
+	closed      []itemset.ClosedPattern
+	complements []core.AttrSet
+	// byItem indexes the closed sets by the items they contain, so that the
+	// per-pattern filtering only scans the closed sets containing the pattern's
+	// rarest item instead of the whole collection.
+	byItem map[item][]int32
+
+	mu    sync.Mutex
+	cache map[string][]core.AttrSet
+}
+
+// item is a single (attribute, value) pair used as an index key.
+type item struct {
+	attr  int
+	value int32
+}
+
+// NewClosed returns a Closed difference-set computer over r. The 2-frequent
+// closed item sets are mined lazily on first use and reused for every pattern.
+func NewClosed(r *core.Relation) *Closed {
+	return &Closed{r: r, cache: make(map[string][]core.AttrSet)}
+}
+
+// Prepare forces the closed-item-set mining step, so that callers can separate
+// its cost from per-pattern queries (the benchmark harness uses this).
+func (c *Closed) Prepare() {
+	c.once.Do(func() {
+		c.closed = itemset.MineClosed(c.r, 2)
+		all := c.r.Schema().All()
+		c.complements = make([]core.AttrSet, len(c.closed))
+		c.byItem = make(map[item][]int32)
+		for i, cp := range c.closed {
+			c.complements[i] = all.Diff(cp.Attrs)
+			cp.Attrs.ForEach(func(a int) {
+				key := item{attr: a, value: cp.Tp[a]}
+				c.byItem[key] = append(c.byItem[key], int32(i))
+			})
+		}
+	})
+}
+
+// MinimalDiffSets implements Computer.
+func (c *Closed) MinimalDiffSets(attrs core.AttrSet, tp core.Pattern, rhs int) []core.AttrSet {
+	return restrictToRHS(c.diffSets(attrs, tp), rhs)
+}
+
+// diffSets returns the candidate difference sets for the pattern: complements
+// of the 2-frequent closed item sets containing the pattern's items.
+func (c *Closed) diffSets(attrs core.AttrSet, tp core.Pattern) []core.AttrSet {
+	c.Prepare()
+	key := tp.Key(attrs)
+	c.mu.Lock()
+	if d, ok := c.cache[key]; ok {
+		c.mu.Unlock()
+		return d
+	}
+	c.mu.Unlock()
+
+	// Restrict the scan to the closed sets containing the pattern's rarest
+	// item; for the empty pattern every closed set qualifies.
+	candidates := int32(-1) // -1 means "all"
+	var narrowest []int32
+	attrs.ForEach(func(a int) {
+		list := c.byItem[item{attr: a, value: tp[a]}]
+		if candidates == -1 || len(list) < int(candidates) {
+			candidates = int32(len(list))
+			narrowest = list
+		}
+	})
+	seen := make(map[core.AttrSet]bool)
+	scan := func(i int) {
+		cp := c.closed[i]
+		if !cp.ContainsItems(attrs, tp) {
+			return
+		}
+		if d := c.complements[i]; !d.IsEmpty() {
+			seen[d] = true
+		}
+	}
+	if candidates == -1 {
+		for i := range c.closed {
+			scan(i)
+		}
+	} else {
+		for _, i := range narrowest {
+			scan(int(i))
+		}
+	}
+	out := make([]core.AttrSet, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+
+	c.mu.Lock()
+	c.cache[key] = out
+	c.mu.Unlock()
+	return out
+}

@@ -1,0 +1,157 @@
+package itemset
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// ClosedPattern is a closed item set found by MineClosed: its attributes, the
+// constant pattern over them, and the number of supporting tuples.
+type ClosedPattern struct {
+	Attrs core.AttrSet
+	Tp    core.Pattern
+	Count int
+}
+
+// Key returns the canonical key of the closed pattern's item set.
+func (c ClosedPattern) Key() string { return c.Tp.Key(c.Attrs) }
+
+// ContainsItems reports whether the closed pattern contains every item of
+// (attrs, tp), i.e. it agrees with tp on all of attrs.
+func (c ClosedPattern) ContainsItems(attrs core.AttrSet, tp core.Pattern) bool {
+	if !attrs.SubsetOf(c.Attrs) {
+		return false
+	}
+	ok := true
+	attrs.ForEach(func(a int) {
+		if c.Tp[a] != tp[a] {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// MineClosed enumerates every closed item set of r with support at least
+// minsup, using an LCM-style depth-first search with prefix-preserving closure
+// extension. It is the substrate of FastCFD's difference-set optimisation
+// (§5.5): the agree set of any pair of tuples is a closed item set with
+// support ≥ 2, so the 2-frequent closed item sets determine every minimal
+// difference set.
+func MineClosed(r *core.Relation, minsup int) []ClosedPattern {
+	if minsup < 1 {
+		minsup = 1
+	}
+	n := r.Size()
+	arity := r.Arity()
+	if n < minsup || n == 0 {
+		return nil
+	}
+
+	// Global item order: attributes ascending, values ascending within an
+	// attribute. Only globally frequent items get an index; any value appearing
+	// in the closure of a ≥ minsup tid set is necessarily globally frequent.
+	index := make([]map[int32]int, arity)
+	next := 0
+	for a := 0; a < arity; a++ {
+		counts := make(map[int32]int)
+		for _, v := range r.Column(a) {
+			counts[v]++
+		}
+		values := make([]int32, 0, len(counts))
+		for v, c := range counts {
+			if c >= minsup {
+				values = append(values, v)
+			}
+		}
+		sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+		index[a] = make(map[int32]int, len(values))
+		for _, v := range values {
+			index[a][v] = next
+			next++
+		}
+	}
+
+	closure := func(tids []int32) (core.AttrSet, core.Pattern) {
+		attrs := core.EmptyAttrSet
+		tp := core.NewPattern(arity)
+		for a := 0; a < arity; a++ {
+			col := r.Column(a)
+			v := col[tids[0]]
+			same := true
+			for _, t := range tids[1:] {
+				if col[t] != v {
+					same = false
+					break
+				}
+			}
+			if same {
+				attrs = attrs.Add(a)
+				tp[a] = v
+			}
+		}
+		return attrs, tp
+	}
+
+	var out []ClosedPattern
+
+	var expand func(cAttrs core.AttrSet, cTp core.Pattern, tids []int32, coreIdx int)
+	expand = func(cAttrs core.AttrSet, cTp core.Pattern, tids []int32, coreIdx int) {
+		type candidate struct {
+			idx   int
+			attr  int
+			value int32
+			tids  []int32
+		}
+		var cands []candidate
+		for a := 0; a < arity; a++ {
+			if cAttrs.Has(a) {
+				continue
+			}
+			col := r.Column(a)
+			buckets := make(map[int32][]int32)
+			for _, t := range tids {
+				buckets[col[t]] = append(buckets[col[t]], t)
+			}
+			for v, b := range buckets {
+				if len(b) < minsup {
+					continue
+				}
+				idx, ok := index[a][v]
+				if !ok || idx <= coreIdx {
+					continue
+				}
+				cands = append(cands, candidate{idx: idx, attr: a, value: v, tids: b})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].idx < cands[j].idx })
+		for _, cand := range cands {
+			newAttrs, newTp := closure(cand.tids)
+			// Prefix-preserving check: the new closure must not introduce an item
+			// ordered before the extension item that is not already in the parent.
+			ok := true
+			newAttrs.ForEach(func(b int) {
+				if !ok || cAttrs.Has(b) {
+					return
+				}
+				if index[b][newTp[b]] < cand.idx {
+					ok = false
+				}
+			})
+			if !ok {
+				continue
+			}
+			out = append(out, ClosedPattern{Attrs: newAttrs, Tp: newTp, Count: len(cand.tids)})
+			expand(newAttrs, newTp, cand.tids, cand.idx)
+		}
+	}
+
+	allTids := make([]int32, n)
+	for t := range allTids {
+		allTids[t] = int32(t)
+	}
+	rootAttrs, rootTp := closure(allTids)
+	out = append(out, ClosedPattern{Attrs: rootAttrs, Tp: rootTp, Count: n})
+	expand(rootAttrs, rootTp, allTids, -1)
+	return out
+}

@@ -1,0 +1,213 @@
+package itemset
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Mining holds the result of mining k-frequent free and closed item sets over
+// a relation: the free sets in ascending size order, the closed sets, and the
+// closed→free association (§3.2). It also indexes free sets by canonical key
+// so that algorithms can test whether an arbitrary item set is free.
+type Mining struct {
+	Relation *core.Relation
+	K        int
+	Free     []*FreeSet
+	Closed   []*ClosedSet
+
+	freeByKey   map[string]*FreeSet
+	closedByKey map[string]*ClosedSet
+}
+
+// Mine computes all k-frequent free item sets of r, their closures, and the
+// resulting k-frequent closed item sets, using a levelwise generator search:
+// free-ness and k-frequency are both anti-monotone, so level ℓ+1 candidates
+// are joins of level-ℓ free sets all of whose immediate subsets are free.
+//
+// The empty item set (support = |r|) is always included as a free set; its
+// closure collects the attributes that are constant across the whole relation.
+func Mine(r *core.Relation, k int) *Mining {
+	if k < 1 {
+		k = 1
+	}
+	m := &Mining{
+		Relation:    r,
+		K:           k,
+		freeByKey:   make(map[string]*FreeSet),
+		closedByKey: make(map[string]*ClosedSet),
+	}
+	n := r.Size()
+	arity := r.Arity()
+
+	allTids := make([]int32, n)
+	for t := range allTids {
+		allTids[t] = int32(t)
+	}
+	empty := &FreeSet{ItemSet: EmptyItemSet(arity), Tids: allTids}
+	m.addFree(empty)
+
+	if n < k {
+		m.finish()
+		return m
+	}
+
+	// Level 1: single items with support >= k that are free, i.e. whose support
+	// is strictly below |r| (an item held by every tuple belongs to clo(∅)).
+	tidlists := itemTidlists(r)
+	var level []*FreeSet
+	for a := 0; a < arity; a++ {
+		values := make([]int32, 0, len(tidlists[a]))
+		for v := range tidlists[a] {
+			values = append(values, v)
+		}
+		sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+		for _, v := range values {
+			tids := tidlists[a][v]
+			if len(tids) < k || len(tids) == n {
+				continue
+			}
+			fs := &FreeSet{ItemSet: EmptyItemSet(arity).With(Item{Attr: a, Value: v}), Tids: tids}
+			level = append(level, fs)
+			m.addFree(fs)
+		}
+	}
+
+	// Levels 2..arity: extend each level-ℓ free set with every item that
+	// co-occurs in its tid list (occurrence deliver). Every size-(ℓ+1) free set
+	// has free immediate subsets, so it is reachable this way; the candidate is
+	// kept iff all its immediate subsets are free and have strictly larger
+	// support. This avoids the quadratic pairwise join of a classical Apriori
+	// generator search, which dominates when the threshold is as low as k = 2.
+	for len(level) > 0 {
+		var next []*FreeSet
+		seen := make(map[string]bool)
+		for _, fs := range level {
+			for a := 0; a < arity; a++ {
+				if fs.Attrs.Has(a) {
+					continue
+				}
+				col := r.Column(a)
+				buckets := make(map[int32][]int32)
+				for _, t := range fs.Tids {
+					buckets[col[t]] = append(buckets[col[t]], t)
+				}
+				for v, tids := range buckets {
+					if len(tids) < k || len(tids) == len(fs.Tids) {
+						// Infrequent, or the item belongs to clo(fs): not free.
+						continue
+					}
+					cand := fs.ItemSet.With(Item{Attr: a, Value: v})
+					key := cand.Key()
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					free := true
+					cand.Attrs.ForEach(func(attr int) {
+						if !free {
+							return
+						}
+						sub, ok := m.freeByKey[cand.Without(attr).Key()]
+						if !ok || len(sub.Tids) <= len(tids) {
+							free = false
+						}
+					})
+					if !free {
+						continue
+					}
+					nf := &FreeSet{ItemSet: cand, Tids: tids}
+					next = append(next, nf)
+					m.addFree(nf)
+				}
+			}
+		}
+		level = next
+	}
+
+	m.finish()
+	return m
+}
+
+// addFree registers a free set, ignoring duplicates produced by the join.
+func (m *Mining) addFree(fs *FreeSet) {
+	key := fs.Key()
+	if _, dup := m.freeByKey[key]; dup {
+		return
+	}
+	m.freeByKey[key] = fs
+	m.Free = append(m.Free, fs)
+}
+
+// finish computes closures of all free sets, groups them into closed sets, and
+// orders the result deterministically (free sets ascending by size, then key).
+func (m *Mining) finish() {
+	r := m.Relation
+	for _, fs := range m.Free {
+		closure := m.closureOf(fs)
+		key := closure.Key()
+		cs, ok := m.closedByKey[key]
+		if !ok {
+			cs = &ClosedSet{ItemSet: closure, Tids: fs.Tids}
+			m.closedByKey[key] = cs
+			m.Closed = append(m.Closed, cs)
+		}
+		cs.Free = append(cs.Free, fs)
+		fs.Closure = cs
+	}
+	sort.Slice(m.Free, func(i, j int) bool {
+		if m.Free[i].Size() != m.Free[j].Size() {
+			return m.Free[i].Size() < m.Free[j].Size()
+		}
+		return m.Free[i].Key() < m.Free[j].Key()
+	})
+	sort.Slice(m.Closed, func(i, j int) bool {
+		if m.Closed[i].Size() != m.Closed[j].Size() {
+			return m.Closed[i].Size() < m.Closed[j].Size()
+		}
+		return m.Closed[i].Key() < m.Closed[j].Key()
+	})
+	_ = r
+}
+
+// closureOf computes clo(X, tp): the unique maximal item set with the same
+// support, by collecting every attribute on which all supporting tuples agree.
+func (m *Mining) closureOf(fs *FreeSet) ItemSet {
+	r := m.Relation
+	closure := ItemSet{Attrs: fs.Attrs, Tp: fs.Tp.Clone()}
+	if len(fs.Tids) == 0 {
+		return closure
+	}
+	for a := 0; a < r.Arity(); a++ {
+		if closure.Attrs.Has(a) {
+			continue
+		}
+		col := r.Column(a)
+		v := col[fs.Tids[0]]
+		same := true
+		for _, t := range fs.Tids[1:] {
+			if col[t] != v {
+				same = false
+				break
+			}
+		}
+		if same {
+			closure.Attrs = closure.Attrs.Add(a)
+			closure.Tp[a] = v
+		}
+	}
+	return closure
+}
+
+// LookupFree returns the free set equal to (attrs, tp), if it is k-frequent
+// and free in the mined relation.
+func (m *Mining) LookupFree(attrs core.AttrSet, tp core.Pattern) (*FreeSet, bool) {
+	fs, ok := m.freeByKey[tp.Key(attrs)]
+	return fs, ok
+}
+
+// IsFree reports whether (attrs, tp) is a k-frequent free item set.
+func (m *Mining) IsFree(attrs core.AttrSet, tp core.Pattern) bool {
+	_, ok := m.freeByKey[tp.Key(attrs)]
+	return ok
+}

@@ -1,0 +1,190 @@
+// Package partition implements the equivalence-class partitions that underpin
+// the levelwise algorithms TANE and CTANE (§4.4 of the paper): tuples matching
+// a pattern are grouped by their values on an attribute set, partitions of
+// larger attribute sets are obtained as products of smaller ones, and the
+// validity of candidate (C)FDs reduces to comparing class counts or covered
+// tuple counts between a lattice element and its parent.
+//
+// Partitions are stored in stripped form: singleton equivalence classes are
+// dropped, and the total number of matching tuples (Covered) is kept alongside
+// so that the full class count can still be derived.
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Partition is a stripped partition: the equivalence classes of size at least
+// two (each an ascending tuple-id list), plus the total number of tuples that
+// match the underlying pattern (including tuples in singleton classes).
+type Partition struct {
+	Classes [][]int32
+	Covered int
+}
+
+// SumSizes returns the number of tuples appearing in non-singleton classes.
+func (p *Partition) SumSizes() int {
+	s := 0
+	for _, c := range p.Classes {
+		s += len(c)
+	}
+	return s
+}
+
+// NumClasses returns the total number of equivalence classes, counting the
+// singleton classes that stripping removed.
+func (p *Partition) NumClasses() int {
+	return len(p.Classes) + (p.Covered - p.SumSizes())
+}
+
+// FromAttribute returns the partition of the lattice element (A, "_"): all
+// tuples grouped by their value of attribute attr.
+func FromAttribute(r *core.Relation, attr int) *Partition {
+	buckets := make(map[int32][]int32, r.DomainSize(attr))
+	col := r.Column(attr)
+	for t, v := range col {
+		buckets[v] = append(buckets[v], int32(t))
+	}
+	p := &Partition{Covered: r.Size()}
+	keys := make([]int32, 0, len(buckets))
+	for v := range buckets {
+		keys = append(keys, v)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, v := range keys {
+		if len(buckets[v]) >= 2 {
+			p.Classes = append(p.Classes, buckets[v])
+		}
+	}
+	return p
+}
+
+// FromItem returns the partition of the lattice element (A, value): a single
+// equivalence class holding the tuples with that value (stripped if singleton).
+func FromItem(r *core.Relation, attr int, value int32) *Partition {
+	var class []int32
+	col := r.Column(attr)
+	for t, v := range col {
+		if v == value {
+			class = append(class, int32(t))
+		}
+	}
+	p := &Partition{Covered: len(class)}
+	if len(class) >= 2 {
+		p.Classes = append(p.Classes, class)
+	}
+	return p
+}
+
+// FromSet builds the partition of an arbitrary lattice element (X, tp) by a
+// direct scan: tuples matching the constants of tp on X, grouped by their X
+// values. It is used by tests and as a reference implementation; the levelwise
+// algorithms build partitions incrementally with Product instead.
+func FromSet(r *core.Relation, X core.AttrSet, tp core.Pattern) *Partition {
+	attrs := X.Attrs()
+	groups := make(map[string][]int32)
+	covered := 0
+	var key []byte
+	for t := 0; t < r.Size(); t++ {
+		if !tp.MatchesTuple(r, t, X) {
+			continue
+		}
+		covered++
+		key = key[:0]
+		for _, a := range attrs {
+			v := r.Value(t, a)
+			key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		groups[string(key)] = append(groups[string(key)], int32(t))
+	}
+	p := &Partition{Covered: covered}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if len(groups[k]) >= 2 {
+			p.Classes = append(p.Classes, groups[k])
+		}
+	}
+	return p
+}
+
+// Product computes the stripped partition of the union of two lattice elements
+// from their stripped partitions, using TANE's linear-time product: a pair of
+// tuples shares a class in the product iff it shares a class in both inputs.
+// Covered cannot be derived from stripped inputs and is set to -1; the caller
+// must fill it in (CTANE derives it from the support of the element's constant
+// pattern, TANE always uses the relation size).
+func Product(a, b *Partition, n int) *Partition {
+	return ProductWith(a, b, make([]int32, n))
+}
+
+// ProductWith is Product with a caller-supplied scratch buffer of length at
+// least the relation size, holding zeroes on entry. The buffer is restored to
+// zeroes before returning, so callers can reuse it across many products
+// without reallocating (the levelwise algorithms generate one product per
+// lattice element).
+func ProductWith(a, b *Partition, scratch []int32) *Partition {
+	out := &Partition{Covered: -1}
+	if len(a.Classes) == 0 || len(b.Classes) == 0 {
+		return out
+	}
+	// scratch[t] = 1-based index of t's class in a, 0 if t is stripped from a.
+	for i, cls := range a.Classes {
+		for _, t := range cls {
+			scratch[t] = int32(i + 1)
+		}
+	}
+	buckets := make(map[int32][]int32)
+	for _, cls := range b.Classes {
+		for _, t := range cls {
+			if id := scratch[t]; id != 0 {
+				buckets[id] = append(buckets[id], t)
+			}
+		}
+		for _, t := range cls {
+			id := scratch[t]
+			if id == 0 {
+				continue
+			}
+			grp, ok := buckets[id]
+			if !ok {
+				continue
+			}
+			if len(grp) >= 2 {
+				cp := make([]int32, len(grp))
+				copy(cp, grp)
+				out.Classes = append(out.Classes, cp)
+			}
+			delete(buckets, id)
+		}
+	}
+	for _, cls := range a.Classes {
+		for _, t := range cls {
+			scratch[t] = 0
+		}
+	}
+	return out
+}
+
+// RefinesRHSVariable reports whether the candidate variable-RHS CFD
+// (X\{A} → A, (sp[X\{A}] ‖ _)) holds, given parent = partition of
+// (X\{A}, sp[X\{A}]) and elem = partition of (X, sp) with sp[A] = "_":
+// the dependency holds iff refining the parent classes by A splits nothing,
+// i.e. both partitions have the same number of classes.
+func RefinesRHSVariable(parent, elem *Partition) bool {
+	return parent.NumClasses() == elem.NumClasses()
+}
+
+// RefinesRHSConstant reports whether the candidate constant-RHS CFD
+// (X\{A} → A, (sp[X\{A}] ‖ c)) holds, given parent = partition of
+// (X\{A}, sp[X\{A}]) and elem = partition of (X, sp) with sp[A] = c:
+// the dependency holds iff every tuple matching the parent pattern also has
+// A = c, i.e. both partitions cover the same number of tuples.
+func RefinesRHSConstant(parent, elem *Partition) bool {
+	return parent.Covered == elem.Covered
+}

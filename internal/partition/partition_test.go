@@ -1,0 +1,167 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixture"
+)
+
+func attr(t *testing.T, r *core.Relation, name string) int {
+	t.Helper()
+	a, ok := r.Schema().Index(name)
+	if !ok {
+		t.Fatalf("unknown attribute %q", name)
+	}
+	return a
+}
+
+func code(t *testing.T, r *core.Relation, name, value string) int32 {
+	t.Helper()
+	v, ok := r.Dict(attr(t, r, name)).Lookup(value)
+	if !ok {
+		t.Fatalf("value %q not in %s", value, name)
+	}
+	return v
+}
+
+func TestFromAttribute(t *testing.T) {
+	r := fixture.Cust()
+	p := FromAttribute(r, attr(t, r, "CC"))
+	// CC splits r0 into {t1..t4,t8} and {t5,t6,t7}: 2 classes, both kept.
+	if len(p.Classes) != 2 {
+		t.Fatalf("CC partition has %d stripped classes, want 2", len(p.Classes))
+	}
+	if p.Covered != 8 || p.NumClasses() != 2 || p.SumSizes() != 8 {
+		t.Errorf("Covered=%d NumClasses=%d SumSizes=%d", p.Covered, p.NumClasses(), p.SumSizes())
+	}
+
+	p = FromAttribute(r, attr(t, r, "STR"))
+	// STR values: Tree Ave.(2), 5th Ave(1), Elm Str.(1), High St.(2), Port PI(1), 3rd Str.(1).
+	if len(p.Classes) != 2 || p.NumClasses() != 6 {
+		t.Errorf("STR partition: stripped=%d total=%d, want 2/6", len(p.Classes), p.NumClasses())
+	}
+}
+
+func TestFromItem(t *testing.T) {
+	r := fixture.Cust()
+	p := FromItem(r, attr(t, r, "AC"), code(t, r, "AC", "908"))
+	if p.Covered != 4 || len(p.Classes) != 1 || len(p.Classes[0]) != 4 {
+		t.Errorf("AC=908 partition wrong: covered=%d classes=%v", p.Covered, p.Classes)
+	}
+	p = FromItem(r, attr(t, r, "AC"), code(t, r, "AC", "212"))
+	if p.Covered != 1 || len(p.Classes) != 0 || p.NumClasses() != 1 {
+		t.Errorf("AC=212 partition wrong: covered=%d classes=%d", p.Covered, len(p.Classes))
+	}
+}
+
+func TestFromSetMatchesProduct(t *testing.T) {
+	r := fixture.Cust()
+	cc, ac := attr(t, r, "CC"), attr(t, r, "AC")
+	pa := FromAttribute(r, cc)
+	pb := FromAttribute(r, ac)
+	prod := Product(pa, pb, r.Size())
+	prod.Covered = r.Size()
+	direct := FromSet(r, core.NewAttrSet(cc, ac), core.NewPattern(r.Arity()))
+	if prod.NumClasses() != direct.NumClasses() {
+		t.Errorf("product classes=%d direct=%d", prod.NumClasses(), direct.NumClasses())
+	}
+	if prod.SumSizes() != direct.SumSizes() {
+		t.Errorf("product sizes=%d direct=%d", prod.SumSizes(), direct.SumSizes())
+	}
+}
+
+func TestProductWithConstantPattern(t *testing.T) {
+	r := fixture.Cust()
+	cc, zip := attr(t, r, "CC"), attr(t, r, "ZIP")
+	// ([CC,ZIP], (01, _)) : product of (CC=01) and (ZIP, _).
+	pa := FromItem(r, cc, code(t, r, "CC", "01"))
+	pb := FromAttribute(r, zip)
+	prod := Product(pa, pb, r.Size())
+	tp := core.NewPattern(r.Arity())
+	tp[cc] = code(t, r, "CC", "01")
+	direct := FromSet(r, core.NewAttrSet(cc, zip), tp)
+	prod.Covered = direct.Covered
+	if prod.NumClasses() != direct.NumClasses() || prod.SumSizes() != direct.SumSizes() {
+		t.Errorf("product=%d/%d direct=%d/%d classes/sizes",
+			prod.NumClasses(), prod.SumSizes(), direct.NumClasses(), direct.SumSizes())
+	}
+	// CC=01 tuples grouped by ZIP: {t1,t2,t4} (07974) and {t3,t8} (01202).
+	if len(direct.Classes) != 2 {
+		t.Errorf("expected 2 stripped classes, got %d", len(direct.Classes))
+	}
+}
+
+func TestProductEmpty(t *testing.T) {
+	r := fixture.Cust()
+	empty := &Partition{Covered: 0}
+	other := FromAttribute(r, attr(t, r, "CC"))
+	prod := Product(empty, other, r.Size())
+	if len(prod.Classes) != 0 {
+		t.Error("product with empty partition must have no classes")
+	}
+}
+
+func TestRefinesRHSVariable(t *testing.T) {
+	r := fixture.Cust()
+	cc, ac, ct := attr(t, r, "CC"), attr(t, r, "AC"), attr(t, r, "CT")
+	wild := core.NewPattern(r.Arity())
+	// f1: [CC,AC] -> CT holds, so refining [CC,AC] by CT splits nothing.
+	parent := FromSet(r, core.NewAttrSet(cc, ac), wild)
+	elem := FromSet(r, core.NewAttrSet(cc, ac, ct), wild)
+	if !RefinesRHSVariable(parent, elem) {
+		t.Error("f1 should be reported valid")
+	}
+	// [CC,ZIP] -> STR does not hold.
+	zip, str := attr(t, r, "ZIP"), attr(t, r, "STR")
+	parent = FromSet(r, core.NewAttrSet(cc, zip), wild)
+	elem = FromSet(r, core.NewAttrSet(cc, zip, str), wild)
+	if RefinesRHSVariable(parent, elem) {
+		t.Error("[CC,ZIP] -> STR should be reported invalid")
+	}
+}
+
+func TestRefinesRHSConstant(t *testing.T) {
+	r := fixture.Cust()
+	ac, ct := attr(t, r, "AC"), attr(t, r, "CT")
+	// (AC -> CT, (908 || MH)) holds.
+	tpParent := core.NewPattern(r.Arity())
+	tpParent[ac] = code(t, r, "AC", "908")
+	parent := FromSet(r, core.NewAttrSet(ac), tpParent)
+	tpElem := tpParent.Clone()
+	tpElem[ct] = code(t, r, "CT", "MH")
+	elem := FromSet(r, core.NewAttrSet(ac, ct), tpElem)
+	if !RefinesRHSConstant(parent, elem) {
+		t.Error("(AC -> CT, (908||MH)) should be reported valid")
+	}
+	// (AC -> CT, (131 || EDI)) is violated by t8.
+	tpParent = core.NewPattern(r.Arity())
+	tpParent[ac] = code(t, r, "AC", "131")
+	parent = FromSet(r, core.NewAttrSet(ac), tpParent)
+	tpElem = tpParent.Clone()
+	tpElem[ct] = code(t, r, "CT", "EDI")
+	elem = FromSet(r, core.NewAttrSet(ac, ct), tpElem)
+	if RefinesRHSConstant(parent, elem) {
+		t.Error("(AC -> CT, (131||EDI)) should be reported invalid")
+	}
+}
+
+// TestProductAgainstDirect cross-checks the incremental product against the
+// direct partition construction on random relations and random attribute pairs.
+func TestProductAgainstDirect(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		r := fixture.Random(seed, 200, []int{3, 4, 2, 6})
+		wild := core.NewPattern(r.Arity())
+		for a := 0; a < r.Arity(); a++ {
+			for b := a + 1; b < r.Arity(); b++ {
+				prod := Product(FromAttribute(r, a), FromAttribute(r, b), r.Size())
+				prod.Covered = r.Size()
+				direct := FromSet(r, core.NewAttrSet(a, b), wild)
+				if prod.NumClasses() != direct.NumClasses() || prod.SumSizes() != direct.SumSizes() {
+					t.Errorf("seed=%d attrs=%d,%d: product %d/%d direct %d/%d",
+						seed, a, b, prod.NumClasses(), prod.SumSizes(), direct.NumClasses(), direct.SumSizes())
+				}
+			}
+		}
+	}
+}
