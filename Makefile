@@ -1,0 +1,41 @@
+# Local entry points mirroring the CI jobs (.github/workflows/ci.yml calls
+# these same targets, so the two cannot drift).
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs every benchmark exactly once (the CI perf-trajectory pass) and
+# archives the result both as raw text and as BENCH_ci.json. The output is
+# captured by redirection, not a pipe, so a benchmark failure fails the target.
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' . > BENCH_ci.txt || { cat BENCH_ci.txt; exit 1; }
+	cat BENCH_ci.txt
+	$(GO) run ./cmd/benchjson < BENCH_ci.txt > BENCH_ci.json
+
+fmt:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt required on:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt vet build race bench
+
+clean:
+	rm -f BENCH_ci.txt BENCH_ci.json

@@ -24,15 +24,16 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure id (fig05..fig16, ablation, datasets) or 'all'")
-		full  = flag.Bool("full", false, "run the paper-scale sweeps (hours)")
-		quick = flag.Bool("quick", false, "run the minimal smoke-test sweeps")
-		seed  = flag.Int64("seed", 1, "data generation seed")
-		out   = flag.String("o", "", "append the tables to this file instead of stdout")
+		fig     = flag.String("fig", "all", "figure id (fig05..fig16, ablation, datasets) or 'all'")
+		full    = flag.Bool("full", false, "run the paper-scale sweeps (hours)")
+		quick   = flag.Bool("quick", false, "run the minimal smoke-test sweeps")
+		seed    = flag.Int64("seed", 1, "data generation seed")
+		workers = flag.Int("workers", 0, "worker goroutines per discovery run (0 = one per CPU, 1 = sequential as in the paper's testbed)")
+		out     = flag.String("o", "", "append the tables to this file instead of stdout")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Full: *full, Quick: *quick, Seed: *seed}
+	cfg := experiments.Config{Full: *full, Quick: *quick, Seed: *seed, Workers: *workers}
 	ids := experiments.IDs()
 	if *fig != "all" {
 		ids = strings.Split(*fig, ",")

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/cfd"
@@ -29,6 +31,8 @@ func main() {
 		support   = flag.Int("support", 2, "support threshold k (k-frequent CFDs only)")
 		maxLHS    = flag.Int("maxlhs", 0, "bound on the number of LHS attributes (0 = unbounded)")
 		varOnly   = flag.Bool("variable-only", false, "report variable CFDs only")
+		workers   = flag.Int("workers", 0, "worker goroutines for the discovery run (0 = one per CPU, 1 = sequential)")
+		timeout   = flag.Duration("timeout", 0, "abort the discovery run after this duration (0 = no limit)")
 		tableau   = flag.Bool("tableau", false, "group the discovered CFDs into pattern tableaux per embedded FD")
 		output    = flag.String("o", "", "write the discovered CFDs to this file instead of stdout")
 	)
@@ -38,10 +42,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := discovery.Discover(discovery.Algorithm(*algorithm), rel, discovery.Options{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := discovery.DiscoverContext(ctx, discovery.Algorithm(*algorithm), rel, discovery.Options{
 		Support:      *support,
 		MaxLHS:       *maxLHS,
 		VariableOnly: *varOnly,
+		Workers:      *workers,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,98 @@
+package discovery_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/cfd"
+	"repro/dataset"
+	"repro/discovery"
+)
+
+// TestDiscoverContextPreCancelled asserts that every algorithm returns
+// promptly with ctx.Err() when handed an already-cancelled context.
+func TestDiscoverContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := cust()
+	for _, alg := range discovery.Algorithms() {
+		start := time.Now()
+		res, err := discovery.DiscoverContext(ctx, alg, r, discovery.Options{Support: 2})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", alg, err)
+		}
+		if res != nil {
+			t.Errorf("%s: expected nil result from a cancelled run", alg)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Errorf("%s: cancelled run took %s", alg, elapsed)
+		}
+	}
+}
+
+// TestDiscoverContextCancelMidRun cancels long discovery runs shortly after
+// they start and checks they abort with the context's error rather than
+// running to completion. Support 2 makes each algorithm's dominant phase
+// (lattice levels for CTANE, item-set mining for CFDMiner and FastCFD) take
+// orders of magnitude longer than the deadline, so a completed run
+// (err == nil) means cancellation was not observed there.
+func TestDiscoverContextCancelMidRun(t *testing.T) {
+	rel, err := dataset.Tax(dataset.TaxConfig{Size: 8000, Arity: 9, CF: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []discovery.Algorithm{discovery.AlgCFDMiner, discovery.AlgCTANE, discovery.AlgFastCFD} {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		_, err = discovery.DiscoverContext(ctx, alg, rel, discovery.Options{Support: 2})
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%s: err = %v, want context.DeadlineExceeded", alg, err)
+		}
+	}
+}
+
+// TestDiscoverWorkersDeterministic asserts, through the public API, that
+// Workers: 4 produces exactly the same CFD set as Workers: 1 for every
+// parallel algorithm on the fixture relations.
+func TestDiscoverWorkersDeterministic(t *testing.T) {
+	gen, err := dataset.Tax(dataset.TaxConfig{Size: 400, Arity: 7, CF: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := map[string]*relAndSupport{
+		"cust": {cust(), 2},
+		"tax":  {gen, 4},
+	}
+	algs := []discovery.Algorithm{
+		discovery.AlgCFDMiner, discovery.AlgCTANE, discovery.AlgFastCFD, discovery.AlgNaiveFast,
+	}
+	for name, rs := range rels {
+		for _, alg := range algs {
+			seq, err := discovery.Discover(alg, rs.rel, discovery.Options{Support: rs.k, Workers: 1})
+			if err != nil {
+				t.Fatalf("%s/%s sequential: %v", name, alg, err)
+			}
+			par, err := discovery.Discover(alg, rs.rel, discovery.Options{Support: rs.k, Workers: 4})
+			if err != nil {
+				t.Fatalf("%s/%s parallel: %v", name, alg, err)
+			}
+			if len(seq.CFDs) != len(par.CFDs) {
+				t.Errorf("%s/%s: sequential %d CFDs, parallel %d", name, alg, len(seq.CFDs), len(par.CFDs))
+				continue
+			}
+			for i := range seq.CFDs {
+				if seq.CFDs[i].Normalize().String() != par.CFDs[i].Normalize().String() {
+					t.Errorf("%s/%s: CFD %d differs between worker counts", name, alg, i)
+					break
+				}
+			}
+		}
+	}
+}
+
+type relAndSupport struct {
+	rel *cfd.Relation
+	k   int
+}

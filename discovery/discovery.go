@@ -8,8 +8,8 @@
 package discovery
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"time"
 
 	"repro/cfd"
@@ -56,17 +56,20 @@ type Options struct {
 	// DisableItemsetOptimisation turns off FastCFD's §5.5 optimisation of taking
 	// constant CFDs from CFDMiner, producing them inside FindMin instead.
 	DisableItemsetOptimisation bool
-	// Parallel runs FastCFD/NaiveFast's per-attribute searches on all available
-	// CPUs. The discovered cover is identical to a sequential run.
+	// Workers bounds the number of goroutines a discovery run may use: 0 runs
+	// one worker per available CPU (the default), 1 runs sequentially, and any
+	// larger value is used as given. CFDMiner, CTANE, FastCFD and NaiveFast
+	// all parallelise under this setting; the discovered cover is identical
+	// for every worker count.
+	Workers int
+	// Parallel is a retired flag from the era when parallelism was opt-in and
+	// FastCFD-only. It is now ignored entirely: parallelism is the default
+	// (Workers: 0 = one worker per CPU), so callers that previously relied on
+	// Parallel: false meaning sequential must set Workers: 1 instead. The
+	// field is kept only so existing struct literals continue to compile.
+	//
+	// Deprecated: use Workers.
 	Parallel bool
-}
-
-// workers translates the Parallel flag into a worker count.
-func (o Options) workers() int {
-	if !o.Parallel {
-		return 0
-	}
-	return runtime.NumCPU()
 }
 
 func (o Options) support() int {
@@ -91,38 +94,58 @@ type Result struct {
 
 // Discover runs the named algorithm on the relation.
 func Discover(alg Algorithm, r *cfd.Relation, opts Options) (*Result, error) {
+	return DiscoverContext(context.Background(), alg, r, opts)
+}
+
+// DiscoverContext runs the named algorithm on the relation under a context,
+// so long runs can be deadlined or cancelled. Cancellation is cooperative:
+// the levelwise algorithms observe it between the work units of a lattice
+// level, the depth-first ones between per-attribute searches. A cancelled run
+// returns ctx.Err() (possibly wrapped by the deadline machinery).
+func DiscoverContext(ctx context.Context, alg Algorithm, r *cfd.Relation, opts Options) (*Result, error) {
 	start := time.Now()
 	var encoded []core.CFD
+	var err error
 	switch alg {
 	case AlgCFDMiner:
-		encoded = cfdminer.Mine(r.Encoded(), opts.support())
+		encoded, err = cfdminer.MineContext(ctx, r.Encoded(), cfdminer.Options{
+			K:       opts.support(),
+			Workers: opts.Workers,
+		})
 	case AlgCTANE:
-		encoded = ctane.MineWithOptions(r.Encoded(), ctane.Options{K: opts.support(), MaxLHS: opts.MaxLHS})
+		encoded, err = ctane.MineContext(ctx, r.Encoded(), ctane.Options{
+			K:       opts.support(),
+			MaxLHS:  opts.MaxLHS,
+			Workers: opts.Workers,
+		})
 	case AlgFastCFD:
-		encoded = fastcfd.MineWithOptions(r.Encoded(), fastcfd.Options{
+		encoded, err = fastcfd.MineContext(ctx, r.Encoded(), fastcfd.Options{
 			K:            opts.support(),
 			MaxLHS:       opts.MaxLHS,
 			VariableOnly: opts.VariableOnly,
 			UseCFDMiner:  !opts.DisableItemsetOptimisation,
-			Workers:      opts.workers(),
+			Workers:      opts.Workers,
 		})
 	case AlgNaiveFast:
-		encoded = fastcfd.MineWithOptions(r.Encoded(), fastcfd.Options{
+		encoded, err = fastcfd.MineContext(ctx, r.Encoded(), fastcfd.Options{
 			K:            opts.support(),
 			MaxLHS:       opts.MaxLHS,
 			VariableOnly: opts.VariableOnly,
 			Computer:     diffset.NewNaive(r.Encoded()),
 			UseCFDMiner:  false,
-			Workers:      opts.workers(),
+			Workers:      opts.Workers,
 		})
 	case AlgTANE:
-		encoded = tane.Mine(r.Encoded())
+		encoded, err = tane.MineContext(ctx, r.Encoded())
 	case AlgFastFD:
-		encoded = fastfd.Mine(r.Encoded(), nil)
+		encoded, err = fastfd.MineContext(ctx, r.Encoded(), nil)
 	case AlgBrute:
-		encoded = bruteforce.Mine(r.Encoded(), opts.support())
+		encoded, err = bruteforce.MineContext(ctx, r.Encoded(), opts.support())
 	default:
 		return nil, fmt.Errorf("discovery: unknown algorithm %q", alg)
+	}
+	if err != nil {
+		return nil, err
 	}
 	elapsed := time.Since(start)
 

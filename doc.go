@@ -13,6 +13,5 @@
 //   - repro/experiments — regeneration of every figure of the paper's §6.
 //
 // The root package only hosts the repository-level benchmarks
-// (bench_test.go); see README.md for a walkthrough and DESIGN.md for the
-// system inventory.
+// (bench_test.go); see README.md for a walkthrough and the package map.
 package repro

@@ -35,6 +35,10 @@ type Config struct {
 	Quick bool
 	// Seed makes data generation deterministic (default 1).
 	Seed int64
+	// Workers bounds the goroutines of each discovery run (0 = one per CPU,
+	// 1 = sequential; see discovery.Options.Workers). Paper-faithful timing
+	// comparisons should set 1, since the paper's testbed was single-threaded.
+	Workers int
 }
 
 func (c Config) seed() int64 {
@@ -165,9 +169,10 @@ func (f *Figure) Table() string {
 	return b.String()
 }
 
-// timeAlg runs one algorithm and returns its response time in seconds together
-// with the result.
-func timeAlg(alg discovery.Algorithm, rel *cfd.Relation, opts discovery.Options) (float64, *discovery.Result, error) {
+// timeAlg runs one algorithm under the configuration's worker budget and
+// returns its response time in seconds together with the result.
+func timeAlg(cfg Config, alg discovery.Algorithm, rel *cfd.Relation, opts discovery.Options) (float64, *discovery.Result, error) {
+	opts.Workers = cfg.Workers
 	start := time.Now()
 	res, err := discovery.Discover(alg, rel, opts)
 	if err != nil {

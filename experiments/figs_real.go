@@ -102,7 +102,7 @@ func realTimeFigure(id string, ds realDataset, cfg Config) (*Figure, error) {
 			discovery.AlgCTANE:   SeriesCTANE,
 			discovery.AlgFastCFD: SeriesFastCFD,
 		} {
-			sec, _, err := timeAlg(alg, rel, discovery.Options{Support: k, MaxLHS: ds.maxLHS})
+			sec, _, err := timeAlg(cfg, alg, rel, discovery.Options{Support: k, MaxLHS: ds.maxLHS})
 			if err != nil {
 				return nil, err
 			}
@@ -123,7 +123,7 @@ func realCountFigure(id string, ds realDataset, cfg Config) (*Figure, error) {
 	}
 	fig := &Figure{ID: id, Title: Title(id), XLabel: "k", YLabel: "#CFDs"}
 	for _, k := range ds.ks(cfg) {
-		_, res, err := timeAlg(discovery.AlgFastCFD, rel, discovery.Options{Support: k, MaxLHS: ds.maxLHS})
+		_, res, err := timeAlg(cfg, discovery.AlgFastCFD, rel, discovery.Options{Support: k, MaxLHS: ds.maxLHS})
 		if err != nil {
 			return nil, err
 		}

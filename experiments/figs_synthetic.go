@@ -64,31 +64,31 @@ func Fig05(cfg Config) (*Figure, error) {
 		k := supportFromRatio(size, supportRatio(cfg))
 		point := Point{X: fmt.Sprintf("%d", size), Series: map[string]float64{}}
 
-		if sec, _, err := timeAlg(discovery.AlgCFDMiner, rel, discovery.Options{Support: k}); err == nil {
+		if sec, _, err := timeAlg(cfg, discovery.AlgCFDMiner, rel, discovery.Options{Support: k}); err == nil {
 			point.Series[SeriesCFDMiner] = sec
 		} else {
 			return nil, err
 		}
-		if sec, _, err := timeAlg(discovery.AlgCFDMiner, rel, discovery.Options{Support: 2}); err == nil {
+		if sec, _, err := timeAlg(cfg, discovery.AlgCFDMiner, rel, discovery.Options{Support: 2}); err == nil {
 			point.Series[SeriesCFDMiner2] = sec
 		} else {
 			return nil, err
 		}
 		if size <= ctaneCap {
-			if sec, _, err := timeAlg(discovery.AlgCTANE, rel, discovery.Options{Support: k}); err == nil {
+			if sec, _, err := timeAlg(cfg, discovery.AlgCTANE, rel, discovery.Options{Support: k}); err == nil {
 				point.Series[SeriesCTANE] = sec
 			} else {
 				return nil, err
 			}
 		}
 		if size <= naiveCap {
-			if sec, _, err := timeAlg(discovery.AlgNaiveFast, rel, discovery.Options{Support: k}); err == nil {
+			if sec, _, err := timeAlg(cfg, discovery.AlgNaiveFast, rel, discovery.Options{Support: k}); err == nil {
 				point.Series[SeriesNaiveFast] = sec
 			} else {
 				return nil, err
 			}
 		}
-		if sec, _, err := timeAlg(discovery.AlgFastCFD, rel, discovery.Options{Support: k}); err == nil {
+		if sec, _, err := timeAlg(cfg, discovery.AlgFastCFD, rel, discovery.Options{Support: k}); err == nil {
 			point.Series[SeriesFastCFD] = sec
 		} else {
 			return nil, err
@@ -113,7 +113,7 @@ func Fig06(cfg Config) (*Figure, error) {
 			return nil, err
 		}
 		k := supportFromRatio(size, supportRatio(cfg))
-		_, res, err := timeAlg(discovery.AlgFastCFD, rel, discovery.Options{Support: k})
+		_, res, err := timeAlg(cfg, discovery.AlgFastCFD, rel, discovery.Options{Support: k})
 		if err != nil {
 			return nil, err
 		}
@@ -159,24 +159,24 @@ func Fig07(cfg Config) (*Figure, error) {
 			return nil, err
 		}
 		point := Point{X: fmt.Sprintf("%d", arity), Series: map[string]float64{}}
-		if sec, _, err := timeAlg(discovery.AlgCFDMiner, rel, discovery.Options{Support: k}); err == nil {
+		if sec, _, err := timeAlg(cfg, discovery.AlgCFDMiner, rel, discovery.Options{Support: k}); err == nil {
 			point.Series[SeriesCFDMiner] = sec
 		} else {
 			return nil, err
 		}
 		if arity <= ctaneCap {
-			if sec, _, err := timeAlg(discovery.AlgCTANE, rel, discovery.Options{Support: k}); err == nil {
+			if sec, _, err := timeAlg(cfg, discovery.AlgCTANE, rel, discovery.Options{Support: k}); err == nil {
 				point.Series[SeriesCTANE] = sec
 			} else {
 				return nil, err
 			}
 		}
-		if sec, _, err := timeAlg(discovery.AlgNaiveFast, rel, discovery.Options{Support: k}); err == nil {
+		if sec, _, err := timeAlg(cfg, discovery.AlgNaiveFast, rel, discovery.Options{Support: k}); err == nil {
 			point.Series[SeriesNaiveFast] = sec
 		} else {
 			return nil, err
 		}
-		if sec, _, err := timeAlg(discovery.AlgFastCFD, rel, discovery.Options{Support: k}); err == nil {
+		if sec, _, err := timeAlg(cfg, discovery.AlgFastCFD, rel, discovery.Options{Support: k}); err == nil {
 			point.Series[SeriesFastCFD] = sec
 		} else {
 			return nil, err
@@ -220,7 +220,7 @@ func Fig08(cfg Config) (*Figure, error) {
 			discovery.AlgNaiveFast: SeriesNaiveFast,
 			discovery.AlgFastCFD:   SeriesFastCFD,
 		} {
-			sec, _, err := timeAlg(alg, rel, discovery.Options{Support: k})
+			sec, _, err := timeAlg(cfg, alg, rel, discovery.Options{Support: k})
 			if err != nil {
 				return nil, err
 			}
@@ -245,7 +245,7 @@ func Fig09(cfg Config) (*Figure, error) {
 		XLabel: "k", YLabel: "#CFDs",
 	}
 	for _, k := range ks {
-		_, res, err := timeAlg(discovery.AlgFastCFD, rel, discovery.Options{Support: k})
+		_, res, err := timeAlg(cfg, discovery.AlgFastCFD, rel, discovery.Options{Support: k})
 		if err != nil {
 			return nil, err
 		}
@@ -290,7 +290,7 @@ func Fig10(cfg Config) (*Figure, error) {
 			discovery.AlgNaiveFast: SeriesNaiveFast,
 			discovery.AlgFastCFD:   SeriesFastCFD,
 		} {
-			sec, _, err := timeAlg(alg, rel, discovery.Options{Support: k})
+			sec, _, err := timeAlg(cfg, alg, rel, discovery.Options{Support: k})
 			if err != nil {
 				return nil, err
 			}
@@ -336,7 +336,7 @@ func Ablation(cfg Config) (*Figure, error) {
 		{"CTANE", discovery.AlgCTANE, discovery.Options{Support: k}},
 	}
 	for _, v := range variants {
-		sec, res, err := timeAlg(v.alg, rel, v.opts)
+		sec, res, err := timeAlg(cfg, v.alg, rel, v.opts)
 		if err != nil {
 			return nil, err
 		}

@@ -9,65 +9,125 @@
 package cfdminer
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/itemset"
+	"repro/internal/pool"
 )
+
+// Options configures a CFDMiner run.
+type Options struct {
+	// K is the support threshold: only k-frequent CFDs are reported. Values
+	// below 1 are treated as 1.
+	K int
+	// Workers bounds the number of goroutines used for the per-free-set rule
+	// generation (each free item set's candidate right-hand sides are checked
+	// independently against the closures of its subsets). 0 selects one worker
+	// per CPU, 1 runs sequentially. The discovered cover is identical for
+	// every worker count.
+	Workers int
+}
 
 // Mine returns a canonical cover of the k-frequent minimal constant CFDs of r.
 func Mine(r *core.Relation, k int) []core.CFD {
 	return MineFromItemsets(itemset.Mine(r, k))
 }
 
+// MineContext runs CFDMiner with explicit options under a context. A cancelled
+// run returns (nil, ctx.Err()).
+func MineContext(ctx context.Context, r *core.Relation, opts Options) ([]core.CFD, error) {
+	k := opts.K
+	if k < 1 {
+		k = 1
+	}
+	m, err := itemset.MineContext(ctx, r, k)
+	if err != nil {
+		return nil, err
+	}
+	return MineFromItemsetsContext(ctx, m, opts.Workers)
+}
+
 // MineFromItemsets runs CFDMiner over a precomputed free/closed item-set
 // mining result. FastCFD uses this entry point to share the mining work
 // between constant-CFD discovery and its own pattern pruning.
 func MineFromItemsets(m *itemset.Mining) []core.CFD {
-	arity := m.Relation.Arity()
-	var out []core.CFD
+	out, err := MineFromItemsetsContext(context.Background(), m, 1)
+	if err != nil {
+		// Unreachable: the background context is never cancelled and
+		// MineFromItemsetsContext has no other failure mode.
+		panic(err)
+	}
+	return out
+}
 
-	// The free sets are sorted in ascending size order, so every proper free
-	// subset of a set is fully processed (and indexed) before the set itself.
-	for _, fs := range m.Free {
-		closure := fs.Closure
-		// Candidate right-hand sides: the items the closure adds to the free set.
-		var candidates []itemset.Item
-		closure.Attrs.Diff(fs.Attrs).ForEach(func(a int) {
-			candidates = append(candidates, itemset.Item{Attr: a, Value: closure.Tp[a]})
-		})
-		if len(candidates) == 0 {
-			continue
-		}
-		// Remove every candidate that already appears in the closure of a proper
-		// free subset of (X, tp): such a candidate yields a CFD that is not
-		// left-reduced (Proposition 1, condition 3).
-		surviving := candidates[:0]
-		for _, cand := range candidates {
-			redundant := false
-			fs.Attrs.Subsets(func(sub core.AttrSet) bool {
-				if sub == fs.Attrs {
-					return true
-				}
-				subSet, ok := m.LookupFree(sub, fs.Tp)
-				if !ok {
-					return true
-				}
-				if subSet.Closure.Has(cand) {
-					redundant = true
-					return false
-				}
-				return true
-			})
-			if !redundant {
-				surviving = append(surviving, cand)
-			}
-		}
-		for _, cand := range surviving {
-			tp := core.NewPattern(arity)
-			fs.Attrs.ForEach(func(a int) { tp[a] = fs.Tp[a] })
-			tp[cand.Attr] = cand.Value
-			out = append(out, core.CFD{LHS: fs.Attrs, RHS: cand.Attr, Tp: tp})
-		}
+// MineFromItemsetsContext is MineFromItemsets with a cancellation context and
+// a worker count (0 = one per CPU, 1 = sequential). The free item sets are
+// processed independently — the closure lookups read only the mining result —
+// and their rules are concatenated in the miner's free-set order, so the
+// output does not depend on the worker count.
+func MineFromItemsetsContext(ctx context.Context, m *itemset.Mining, workers int) ([]core.CFD, error) {
+	perFree, err := pool.Map(ctx, workers, len(m.Free), func(_, i int) []core.CFD {
+		return freeSetRules(m, m.Free[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []core.CFD
+	for _, rules := range perFree {
+		out = append(out, rules...)
 	}
 	core.SortCFDs(out)
+	return out, nil
+}
+
+// freeSetRules emits the minimal constant CFDs rooted at one free item set:
+// one rule per closure item that no proper free subset's closure already
+// contains (Proposition 1, condition 3).
+//
+// The free sets are sorted in ascending size order, so every proper free
+// subset of a set is present in the mining result's index.
+func freeSetRules(m *itemset.Mining, fs *itemset.FreeSet) []core.CFD {
+	arity := m.Relation.Arity()
+	closure := fs.Closure
+	// Candidate right-hand sides: the items the closure adds to the free set.
+	var candidates []itemset.Item
+	closure.Attrs.Diff(fs.Attrs).ForEach(func(a int) {
+		candidates = append(candidates, itemset.Item{Attr: a, Value: closure.Tp[a]})
+	})
+	if len(candidates) == 0 {
+		return nil
+	}
+	// Remove every candidate that already appears in the closure of a proper
+	// free subset of (X, tp): such a candidate yields a CFD that is not
+	// left-reduced (Proposition 1, condition 3).
+	surviving := candidates[:0]
+	for _, cand := range candidates {
+		redundant := false
+		fs.Attrs.Subsets(func(sub core.AttrSet) bool {
+			if sub == fs.Attrs {
+				return true
+			}
+			subSet, ok := m.LookupFree(sub, fs.Tp)
+			if !ok {
+				return true
+			}
+			if subSet.Closure.Has(cand) {
+				redundant = true
+				return false
+			}
+			return true
+		})
+		if !redundant {
+			surviving = append(surviving, cand)
+		}
+	}
+	out := make([]core.CFD, 0, len(surviving))
+	for _, cand := range surviving {
+		tp := core.NewPattern(arity)
+		fs.Attrs.ForEach(func(a int) { tp[a] = fs.Tp[a] })
+		tp[cand.Attr] = cand.Value
+		out = append(out, core.CFD{LHS: fs.Attrs, RHS: cand.Attr, Tp: tp})
+	}
 	return out
 }

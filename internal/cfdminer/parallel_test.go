@@ -1,0 +1,80 @@
+package cfdminer
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixture"
+	"repro/internal/itemset"
+)
+
+// TestMineContextWorkersDeterministic asserts that a four-worker run returns
+// exactly the same constant-CFD list, in the same order, as a sequential run.
+func TestMineContextWorkersDeterministic(t *testing.T) {
+	rels := map[string]*core.Relation{
+		"cust":     fixture.Cust(),
+		"custNoNM": fixture.CustNoNM(),
+		"random":   fixture.Random(21, 60, []int{2, 3, 2, 4, 3}),
+		"corr":     fixture.RandomCorrelated(17, 200, 6, 5),
+	}
+	for name, r := range rels {
+		for _, k := range []int{1, 2, 4} {
+			seq, err := MineContext(context.Background(), r, Options{K: k, Workers: 1})
+			if err != nil {
+				t.Fatalf("%s k=%d sequential: %v", name, k, err)
+			}
+			par, err := MineContext(context.Background(), r, Options{K: k, Workers: 4})
+			if err != nil {
+				t.Fatalf("%s k=%d parallel: %v", name, k, err)
+			}
+			if len(seq) != len(par) {
+				t.Errorf("%s k=%d: sequential %d CFDs, parallel %d", name, k, len(seq), len(par))
+				continue
+			}
+			for i := range seq {
+				if seq[i].Key() != par[i].Key() {
+					t.Errorf("%s k=%d: CFD %d differs: %s vs %s", name, k, i, seq[i].Format(r), par[i].Format(r))
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestMineFromItemsetsContextMatchesMine checks the shared-mining entry point
+// agrees with the one-shot entry point under parallelism.
+func TestMineFromItemsetsContextMatchesMine(t *testing.T) {
+	r := fixture.Cust()
+	m := itemset.Mine(r, 2)
+	par, err := MineFromItemsetsContext(context.Background(), m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := Mine(r, 2)
+	if len(par) != len(seq) {
+		t.Fatalf("parallel %d CFDs, sequential %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if seq[i].Key() != par[i].Key() {
+			t.Errorf("CFD %d differs between entry points", i)
+		}
+	}
+}
+
+// TestMineContextPreCancelled asserts a cancelled context aborts the run with
+// ctx.Err().
+func TestMineContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		out, err := MineContext(ctx, fixture.Cust(), Options{K: 2, Workers: workers})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if out != nil {
+			t.Errorf("workers=%d: expected no CFDs from a cancelled run", workers)
+		}
+	}
+}

@@ -8,10 +8,12 @@
 package ctane
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/partition"
+	"repro/internal/pool"
 )
 
 // Options configures a CTANE run.
@@ -22,6 +24,13 @@ type Options struct {
 	// MaxLHS, when positive, bounds the size of the left-hand side of reported
 	// CFDs (and therefore the depth of the lattice traversal).
 	MaxLHS int
+	// Workers bounds the number of goroutines used within each lattice level
+	// (candidate-set intersection, candidate-CFD validation and partition
+	// products are fanned out per element; the levels themselves stay
+	// sequential, as each depends on the previous one). 0 selects one worker
+	// per CPU, 1 runs sequentially. The discovered cover is identical for
+	// every worker count.
+	Workers int
 }
 
 // Mine returns the minimal k-frequent CFDs of r discovered by CTANE.
@@ -42,14 +51,29 @@ type element struct {
 
 // MineWithOptions runs CTANE with explicit options.
 func MineWithOptions(r *core.Relation, opts Options) []core.CFD {
+	out, err := MineContext(context.Background(), r, opts)
+	if err != nil {
+		// Unreachable: the background context is never cancelled and
+		// MineContext has no other failure mode.
+		panic(err)
+	}
+	return out
+}
+
+// MineContext runs CTANE with explicit options under a context. Cancellation
+// is observed between per-element work units within a lattice level; a
+// cancelled run returns (nil, ctx.Err()). The discovered cover is independent
+// of Options.Workers.
+func MineContext(ctx context.Context, r *core.Relation, opts Options) ([]core.CFD, error) {
 	k := opts.K
 	if k < 1 {
 		k = 1
 	}
+	workers := pool.Normalize(opts.Workers)
 	n := r.Size()
 	arity := r.Arity()
 	if n < k || arity == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	all := r.Schema().All()
 	maxLevel := arity
@@ -116,9 +140,15 @@ func MineWithOptions(r *core.Relation, opts Options) []core.CFD {
 
 	var out []core.CFD
 	for depth := 1; len(level) > 0 && depth <= maxLevel; depth++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sortLevel(level)
 		// Step 1: candidate RHS sets as intersections over immediate subsets.
-		for _, e := range level {
+		// Each element's intersection reads only the previous level, so the
+		// elements fan out independently.
+		if err := pool.Each(ctx, workers, len(level), func(_, i int) {
+			e := level[i]
 			var sets []*candidateSet
 			missing := false
 			e.attrs.ImmediateSubsets(func(_ int, sub core.AttrSet) bool {
@@ -133,9 +163,11 @@ func MineWithOptions(r *core.Relation, opts Options) []core.CFD {
 			if missing {
 				e.cplus = newCandidateSet()
 				e.cplus.removedAttrs = all
-				continue
+				return
 			}
 			e.cplus = intersectCandidates(sets)
+		}); err != nil {
+			return nil, err
 		}
 		// Index by key and by attribute set (for sibling updates in Step 2.c).
 		byKey := make(map[string]*element, len(level))
@@ -144,8 +176,39 @@ func MineWithOptions(r *core.Relation, opts Options) []core.CFD {
 			byKey[e.key] = e
 			byAttrs[e.attrs] = append(byAttrs[e.attrs], e)
 		}
-		// Step 2: validate candidate CFDs.
-		for _, e := range level {
+		// Step 2 pre-pass: validate the candidate CFDs of every element
+		// concurrently. Validation only reads partitions, so it is safe to fan
+		// out; the C+ updates of Step 2.c below stay sequential (they mutate
+		// sibling elements), which keeps the output byte-identical to a
+		// sequential run. The pre-pass may validate candidates that Step 2.c
+		// later removes — wasted work, never a different answer — so it is
+		// skipped when running on one worker.
+		var validated []map[int]bool
+		if workers > 1 {
+			var err error
+			validated, err = pool.Map(ctx, workers, len(level), func(_, i int) map[int]bool {
+				e := level[i]
+				m := make(map[int]bool, e.attrs.Len())
+				e.attrs.ForEach(func(a int) {
+					cA := e.tp[a]
+					if !e.cplus.has(a, cA) {
+						return
+					}
+					parent, ok := prevByKey[e.tp.Key(e.attrs.Remove(a))]
+					if !ok {
+						return
+					}
+					m[a] = validCFD(parent, e, cA)
+				})
+				return m
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Step 2: emit valid candidate CFDs and update the C+ sets, in the
+		// level's sorted order.
+		for i, e := range level {
 			e.attrs.ForEach(func(a int) {
 				cA := e.tp[a]
 				if !e.cplus.has(a, cA) {
@@ -156,11 +219,14 @@ func MineWithOptions(r *core.Relation, opts Options) []core.CFD {
 				if !ok {
 					return
 				}
-				var valid bool
-				if cA == core.Wildcard {
-					valid = partition.RefinesRHSVariable(parent.part, e.part)
-				} else {
-					valid = partition.RefinesRHSConstant(parent.part, e.part)
+				// C+ sets only shrink, so every candidate that survives to
+				// this point was still a candidate during the pre-pass.
+				valid, cached := false, false
+				if validated != nil {
+					valid, cached = validated[i][a]
+				}
+				if !cached {
+					valid = validCFD(parent, e, cA)
 				}
 				if !valid {
 					return
@@ -197,27 +263,44 @@ func MineWithOptions(r *core.Relation, opts Options) []core.CFD {
 		if depth == maxLevel {
 			break
 		}
-		level = generateNextLevel(r, level, byKey, constTids, itemTids, k, n)
+		var err error
+		level, err = generateNextLevel(ctx, r, level, byKey, constTids, itemTids, k, n, workers)
+		if err != nil {
+			return nil, err
+		}
 		prevByKey = byKey
 	}
 
 	out = core.DedupCFDs(out)
 	core.SortCFDs(out)
-	return out
+	return out, nil
+}
+
+// validCFD checks the candidate CFD (X\{A} → A, (sp[X\{A}] ‖ sp[A])) of a
+// lattice element against its parent's partition (Step 2.b).
+func validCFD(parent, e *element, cA int32) bool {
+	if cA == core.Wildcard {
+		return partition.RefinesRHSVariable(parent.part, e.part)
+	}
+	return partition.RefinesRHSConstant(parent.part, e.part)
 }
 
 // generateNextLevel performs Step 4: joins pairs of elements that agree on all
 // but their largest attribute, keeps candidates whose constant part is
 // k-frequent and all of whose immediate sub-elements survived pruning, and
-// builds their partitions as products of the parents' partitions.
+// builds their partitions as products of the parents' partitions. The joins
+// and frequency checks run sequentially (they share the constant-tid cache);
+// the partition products — the expensive part — are fanned out across workers,
+// each with its own scratch buffer.
 func generateNextLevel(
+	ctx context.Context,
 	r *core.Relation,
 	level []*element,
 	byKey map[string]*element,
 	constTids map[string][]int32,
 	itemTids []map[int32][]int32,
-	k, n int,
-) []*element {
+	k, n, workers int,
+) ([]*element, error) {
 	type groupKey struct {
 		prefix core.AttrSet
 		tpKey  string
@@ -227,11 +310,19 @@ func generateNextLevel(
 		prefix := e.attrs.Remove(e.attrs.Last())
 		groups[groupKey{prefix, e.tp.Key(prefix)}] = append(groups[groupKey{prefix, e.tp.Key(prefix)}], e)
 	}
-	var next []*element
+	type join struct {
+		x, y *element
+		elem *element
+	}
+	var joins []join
 	seen := make(map[string]bool)
-	scratch := make([]int32, n)
 	for _, group := range groups {
 		for i := 0; i < len(group); i++ {
+			// The join pass alone can dwarf the rest of a level on low support
+			// thresholds, so observe cancellation inside it too.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			for j := 0; j < len(group); j++ {
 				if i == j {
 					continue
@@ -277,16 +368,30 @@ func generateNextLevel(
 					continue
 				}
 				seen[key] = true
-				part := partition.ProductWith(x.part, y.part, scratch)
-				part.Covered = len(tids)
-				next = append(next, &element{
-					attrs: z, tp: up, part: part,
+				joins = append(joins, join{x: x, y: y, elem: &element{
+					attrs: z, tp: up,
 					key: key, constK: constKey, support: len(tids),
-				})
+				}})
 			}
 		}
 	}
-	return next
+	scratches := make([][]int32, pool.Normalize(workers))
+	if err := pool.Each(ctx, workers, len(joins), func(w, i int) {
+		if scratches[w] == nil {
+			scratches[w] = make([]int32, n)
+		}
+		j := joins[i]
+		part := partition.ProductWith(j.x.part, j.y.part, scratches[w])
+		part.Covered = j.elem.support
+		j.elem.part = part
+	}); err != nil {
+		return nil, err
+	}
+	next := make([]*element, len(joins))
+	for i, j := range joins {
+		next[i] = j.elem
+	}
+	return next, nil
 }
 
 // sortLevel orders a level so that, within one attribute set, more general

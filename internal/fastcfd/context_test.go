@@ -1,0 +1,51 @@
+package fastcfd
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/diffset"
+	"repro/internal/fixture"
+)
+
+// TestMineContextPreCancelled asserts a cancelled context aborts FastCFD and
+// NaiveFast with ctx.Err() for both sequential and parallel worker counts.
+func TestMineContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := fixture.Cust()
+	variants := map[string]Options{
+		"fastcfd-seq":   {K: 2, UseCFDMiner: true, Workers: 1},
+		"fastcfd-par":   {K: 2, UseCFDMiner: true, Workers: 4},
+		"naivefast-seq": {K: 2, Computer: diffset.NewNaive(r), Workers: 1},
+	}
+	for name, opts := range variants {
+		out, err := MineContext(ctx, r, opts)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+		if out != nil {
+			t.Errorf("%s: expected no CFDs from a cancelled run", name)
+		}
+	}
+}
+
+// TestMineContextMatchesMine asserts the context entry point returns the same
+// cover as the plain one.
+func TestMineContextMatchesMine(t *testing.T) {
+	r := fixture.RandomCorrelated(11, 150, 5, 4)
+	plain := Mine(r, 2)
+	ctxed, err := MineContext(context.Background(), r, Options{K: 2, UseCFDMiner: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(ctxed) {
+		t.Fatalf("plain %d CFDs, context %d", len(plain), len(ctxed))
+	}
+	for i := range plain {
+		if plain[i].Key() != ctxed[i].Key() {
+			t.Errorf("CFD %d differs between entry points", i)
+		}
+	}
+}

@@ -13,13 +13,14 @@
 package fastcfd
 
 import (
+	"context"
 	"sort"
-	"sync"
 
 	"repro/internal/cfdminer"
 	"repro/internal/core"
 	"repro/internal/diffset"
 	"repro/internal/itemset"
+	"repro/internal/pool"
 )
 
 // Options configures a FastCFD run.
@@ -40,10 +41,10 @@ type Options struct {
 	// VariableOnly, when true, suppresses constant CFDs entirely (used by the
 	// benchmark harness to separate the two discovery costs).
 	VariableOnly bool
-	// Workers, when greater than 1, runs the per-attribute FindCover searches
-	// concurrently on that many goroutines. The output is identical to a
-	// sequential run (results are ordered by right-hand-side attribute before
-	// merging).
+	// Workers bounds the number of goroutines running the per-attribute
+	// FindCover searches. 0 selects one worker per CPU, 1 runs sequentially.
+	// The output is identical for every worker count (results are merged in
+	// right-hand-side attribute order).
 	Workers int
 }
 
@@ -62,64 +63,69 @@ func MineNaive(r *core.Relation, k int) []core.CFD {
 
 // MineWithOptions runs FastCFD with explicit options.
 func MineWithOptions(r *core.Relation, opts Options) []core.CFD {
+	out, err := MineContext(context.Background(), r, opts)
+	if err != nil {
+		// Unreachable: the background context is never cancelled and
+		// MineContext has no other failure mode.
+		panic(err)
+	}
+	return out
+}
+
+// MineContext runs FastCFD with explicit options under a context.
+// Cancellation is observed between per-attribute FindCover searches (and
+// between the free item sets of the constant-CFD pass); a cancelled run
+// returns (nil, ctx.Err()). The discovered cover is independent of
+// Options.Workers.
+func MineContext(ctx context.Context, r *core.Relation, opts Options) ([]core.CFD, error) {
 	k := opts.K
 	if k < 1 {
 		k = 1
 	}
 	if r.Size() < k {
 		// No CFD can reach the support threshold.
-		return nil
+		return nil, ctx.Err()
 	}
 	comp := opts.Computer
 	if comp == nil {
 		comp = diffset.NewClosed(r)
+	}
+	mining, err := itemset.MineContext(ctx, r, k)
+	if err != nil {
+		return nil, err
 	}
 	f := &finder{
 		r:      r,
 		k:      k,
 		comp:   comp,
 		opts:   opts,
-		mining: itemset.Mine(r, k),
+		mining: mining,
 	}
 	var out []core.CFD
 	if opts.UseCFDMiner && !opts.VariableOnly {
-		for _, c := range cfdminer.MineFromItemsets(f.mining) {
+		constants, err := cfdminer.MineFromItemsetsContext(ctx, f.mining, opts.Workers)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range constants {
 			if opts.MaxLHS > 0 && c.LHS.Len() > opts.MaxLHS {
 				continue
 			}
 			out = append(out, c)
 		}
 	}
-	perRHS := make([][]core.CFD, r.Arity())
-	workers := opts.Workers
-	if workers <= 1 {
-		for rhs := 0; rhs < r.Arity(); rhs++ {
-			perRHS[rhs] = f.findCover(rhs)
-		}
-	} else {
-		jobs := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for rhs := range jobs {
-					perRHS[rhs] = f.findCover(rhs)
-				}
-			}()
-		}
-		for rhs := 0; rhs < r.Arity(); rhs++ {
-			jobs <- rhs
-		}
-		close(jobs)
-		wg.Wait()
+	perRHS, err := pool.Map(ctx, opts.Workers, r.Arity(), func(_, rhs int) []core.CFD {
+		return f.findCover(rhs)
+	})
+	if err != nil {
+		return nil, err
 	}
 	for _, cfds := range perRHS {
 		out = append(out, cfds...)
 	}
 	out = core.DedupCFDs(out)
 	core.SortCFDs(out)
-	return out
+	return out, nil
 }
 
 // finder holds the shared state of one FastCFD run.

@@ -202,7 +202,7 @@ func TestMineParallelMatchesSequential(t *testing.T) {
 	}
 	for name, r := range rels {
 		for _, k := range []int{2, 5} {
-			seq := MineWithOptions(r, Options{K: k, UseCFDMiner: true})
+			seq := MineWithOptions(r, Options{K: k, UseCFDMiner: true, Workers: 1})
 			par := MineWithOptions(r, Options{K: k, UseCFDMiner: true, Workers: 4})
 			if len(seq) != len(par) {
 				t.Errorf("%s k=%d: sequential %d CFDs, parallel %d", name, k, len(seq), len(par))

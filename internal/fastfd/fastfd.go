@@ -8,6 +8,7 @@
 package fastfd
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/core"
@@ -17,6 +18,18 @@ import (
 // Mine returns the minimal functional dependencies of r, using the given
 // difference-set backend (the closed-item-set backend when comp is nil).
 func Mine(r *core.Relation, comp diffset.Computer) []core.CFD {
+	out, err := MineContext(context.Background(), r, comp)
+	if err != nil {
+		// Unreachable: the background context is never cancelled and
+		// MineContext has no other failure mode.
+		panic(err)
+	}
+	return out
+}
+
+// MineContext is Mine with a cancellation context, observed once per
+// right-hand-side attribute; a cancelled run returns (nil, ctx.Err()).
+func MineContext(ctx context.Context, r *core.Relation, comp diffset.Computer) ([]core.CFD, error) {
 	if comp == nil {
 		comp = diffset.NewClosed(r)
 	}
@@ -26,6 +39,9 @@ func Mine(r *core.Relation, comp diffset.Computer) []core.CFD {
 	var out []core.CFD
 
 	for rhs := 0; rhs < arity; rhs++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		diffs := comp.MinimalDiffSets(core.EmptyAttrSet, empty, rhs)
 		if len(diffs) == 0 {
 			// Every pair of tuples agrees on rhs: the attribute is constant and
@@ -43,7 +59,7 @@ func Mine(r *core.Relation, comp diffset.Computer) []core.CFD {
 		}
 	}
 	core.SortCFDs(out)
-	return out
+	return out, nil
 }
 
 // MinimalCovers enumerates every minimal cover of the difference sets that can

@@ -1,6 +1,7 @@
 package itemset
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/core"
@@ -28,6 +29,20 @@ type Mining struct {
 // The empty item set (support = |r|) is always included as a free set; its
 // closure collects the attributes that are constant across the whole relation.
 func Mine(r *core.Relation, k int) *Mining {
+	m, err := MineContext(context.Background(), r, k)
+	if err != nil {
+		// Unreachable: the background context is never cancelled and
+		// MineContext has no other failure mode.
+		panic(err)
+	}
+	return m
+}
+
+// MineContext is Mine with a cancellation context, observed once per free item
+// set during both the levelwise search and the closure computation — item-set
+// mining dominates CFDMiner and FastCFD runs, so cancellation must reach
+// inside it. A cancelled run returns (nil, ctx.Err()).
+func MineContext(ctx context.Context, r *core.Relation, k int) (*Mining, error) {
 	if k < 1 {
 		k = 1
 	}
@@ -48,8 +63,10 @@ func Mine(r *core.Relation, k int) *Mining {
 	m.addFree(empty)
 
 	if n < k {
-		m.finish()
-		return m
+		if err := m.finish(ctx); err != nil {
+			return nil, err
+		}
+		return m, nil
 	}
 
 	// Level 1: single items with support >= k that are free, i.e. whose support
@@ -83,6 +100,9 @@ func Mine(r *core.Relation, k int) *Mining {
 		var next []*FreeSet
 		seen := make(map[string]bool)
 		for _, fs := range level {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			for a := 0; a < arity; a++ {
 				if fs.Attrs.Has(a) {
 					continue
@@ -125,8 +145,10 @@ func Mine(r *core.Relation, k int) *Mining {
 		level = next
 	}
 
-	m.finish()
-	return m
+	if err := m.finish(ctx); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // addFree registers a free set, ignoring duplicates produced by the join.
@@ -141,9 +163,12 @@ func (m *Mining) addFree(fs *FreeSet) {
 
 // finish computes closures of all free sets, groups them into closed sets, and
 // orders the result deterministically (free sets ascending by size, then key).
-func (m *Mining) finish() {
+func (m *Mining) finish(ctx context.Context) error {
 	r := m.Relation
 	for _, fs := range m.Free {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		closure := m.closureOf(fs)
 		key := closure.Key()
 		cs, ok := m.closedByKey[key]
@@ -168,6 +193,7 @@ func (m *Mining) finish() {
 		return m.Closed[i].Key() < m.Closed[j].Key()
 	})
 	_ = r
+	return nil
 }
 
 // closureOf computes clo(X, tp): the unique maximal item set with the same

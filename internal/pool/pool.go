@@ -1,0 +1,94 @@
+// Package pool provides the bounded worker pool shared by the parallel
+// discovery algorithms. Work is expressed as an indexed map over [0, n): each
+// index is handed to exactly one worker goroutine and its result is written to
+// position i of the output slice, so the result order is deterministic and
+// independent of both the worker count and goroutine scheduling. Cancellation
+// is cooperative through a context.Context: once the context is done, no new
+// index is dispatched and the pool returns ctx.Err() after the in-flight items
+// finish.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Normalize translates a Workers option into a concrete goroutine count: zero
+// (or any negative value) selects one worker per available CPU, and any
+// positive value is used as given (1 = sequential).
+func Normalize(workers int) int {
+	if workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return workers
+}
+
+// Map runs fn(worker, i) for every i in [0, n) on at most workers goroutines
+// (after Normalize) and returns the n results in index order. The worker
+// argument identifies the executing goroutine with a value in [0, workers),
+// letting callers maintain per-worker scratch state without locking.
+//
+// If ctx is cancelled before every index has been dispatched, Map stops
+// scheduling new work, waits for the in-flight items, and returns (nil,
+// ctx.Err()). A single-worker run degenerates to a plain loop on the calling
+// goroutine with a cancellation check before every item.
+func Map[T any](ctx context.Context, workers, n int, fn func(worker, i int) T) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	workers = Normalize(workers)
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			out[i] = fn(0, i)
+		}
+		return out, nil
+	}
+	var next, completed atomic.Int64
+	var wg sync.WaitGroup
+	done := ctx.Done()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(w, i)
+				completed.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// A context that fires after the last item was already dispatched and
+	// finished has not cut the run short: the result is complete, return it.
+	if int(completed.Load()) < n {
+		return nil, ctx.Err()
+	}
+	return out, nil
+}
+
+// Each is Map without results: it runs fn(worker, i) for every i in [0, n)
+// and returns ctx.Err() if the run was cut short by cancellation.
+func Each(ctx context.Context, workers, n int, fn func(worker, i int)) error {
+	_, err := Map(ctx, workers, n, func(w, i int) struct{} {
+		fn(w, i)
+		return struct{}{}
+	})
+	return err
+}

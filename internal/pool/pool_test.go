@@ -1,0 +1,149 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize(0); got != runtime.NumCPU() {
+		t.Errorf("Normalize(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Normalize(-3); got != runtime.NumCPU() {
+		t.Errorf("Normalize(-3) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	for _, w := range []int{1, 2, 7} {
+		if got := Normalize(w); got != w {
+			t.Errorf("Normalize(%d) = %d", w, got)
+		}
+	}
+}
+
+// TestMapOrderDeterministic checks that the result slice is in index order for
+// every worker count, including counts exceeding the item count.
+func TestMapOrderDeterministic(t *testing.T) {
+	const n = 200
+	for _, workers := range []int{1, 2, 4, 16, n + 5} {
+		out, err := Map(context.Background(), workers, n, func(_, i int) int { return i * i })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != n {
+			t.Fatalf("workers=%d: %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapEachIndexOnce checks that every index is dispatched exactly once.
+func TestMapEachIndexOnce(t *testing.T) {
+	const n = 500
+	counts := make([]atomic.Int32, n)
+	if _, err := Map(context.Background(), 8, n, func(_, i int) struct{} {
+		counts[i].Add(1)
+		return struct{}{}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Errorf("index %d executed %d times", i, c)
+		}
+	}
+}
+
+// TestMapWorkerIDs checks that worker ids are within [0, workers) so callers
+// can index per-worker scratch buffers safely.
+func TestMapWorkerIDs(t *testing.T) {
+	const workers, n = 4, 100
+	var mu sync.Mutex
+	ids := make(map[int]bool)
+	if _, err := Map(context.Background(), workers, n, func(w, _ int) struct{} {
+		mu.Lock()
+		ids[w] = true
+		mu.Unlock()
+		return struct{}{}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for w := range ids {
+		if w < 0 || w >= workers {
+			t.Errorf("worker id %d out of range [0,%d)", w, workers)
+		}
+	}
+}
+
+func TestMapPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	for _, workers := range []int{1, 4} {
+		out, err := Map(ctx, workers, 100, func(_, i int) int {
+			ran.Add(1)
+			return i
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if out != nil {
+			t.Errorf("workers=%d: expected nil results on cancellation", workers)
+		}
+	}
+	// A pre-cancelled sequential run must not execute any item; a concurrent
+	// run may race a handful of items but must stop promptly, which the small
+	// bound asserts.
+	if n := ran.Load(); n > 8 {
+		t.Errorf("%d items ran despite pre-cancelled context", n)
+	}
+}
+
+// TestMapCancelMidRun cancels while items are in flight and checks Map
+// returns promptly without dispatching the remaining work.
+func TestMapCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	const n = 10000
+	start := time.Now()
+	_, err := Map(ctx, 4, n, func(_, i int) struct{} {
+		if ran.Add(1) == 16 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return struct{}{}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() >= n {
+		t.Error("cancellation did not stop dispatch")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %s", elapsed)
+	}
+}
+
+func TestMapZeroItems(t *testing.T) {
+	out, err := Map(context.Background(), 4, 0, func(_, i int) int { return i })
+	if err != nil || out != nil {
+		t.Errorf("Map over zero items = (%v, %v)", out, err)
+	}
+}
+
+func TestEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := Each(context.Background(), 3, 100, func(_, i int) { sum.Add(int64(i)) }); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 4950 {
+		t.Errorf("sum = %d, want 4950", sum.Load())
+	}
+}

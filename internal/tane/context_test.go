@@ -1,0 +1,42 @@
+package tane
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/fixture"
+)
+
+// TestMineContextPreCancelled asserts a cancelled context aborts TANE with
+// ctx.Err() before any level is processed.
+func TestMineContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := MineContext(ctx, fixture.Cust())
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Error("expected no FDs from a cancelled run")
+	}
+}
+
+// TestMineContextMatchesMine asserts the context entry point returns the same
+// FDs as the plain one.
+func TestMineContextMatchesMine(t *testing.T) {
+	r := fixture.Cust()
+	plain := Mine(r)
+	ctxed, err := MineContext(context.Background(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(ctxed) {
+		t.Fatalf("plain %d FDs, context %d", len(plain), len(ctxed))
+	}
+	for i := range plain {
+		if plain[i].Key() != ctxed[i].Key() {
+			t.Errorf("FD %d differs between entry points", i)
+		}
+	}
+}

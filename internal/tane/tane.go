@@ -7,6 +7,7 @@
 package tane
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/core"
@@ -25,6 +26,18 @@ type element struct {
 // expressed as CFDs with all-wildcard patterns. Dependencies with an empty
 // left-hand side (constant attributes) are included.
 func Mine(r *core.Relation) []core.CFD {
+	out, err := MineContext(context.Background(), r)
+	if err != nil {
+		// Unreachable: the background context is never cancelled and
+		// MineContext has no other failure mode.
+		panic(err)
+	}
+	return out
+}
+
+// MineContext is Mine with a cancellation context, observed once per lattice
+// level; a cancelled run returns (nil, ctx.Err()).
+func MineContext(ctx context.Context, r *core.Relation) ([]core.CFD, error) {
 	arity := r.Arity()
 	all := r.Schema().All()
 	n := r.Size()
@@ -61,6 +74,9 @@ func Mine(r *core.Relation) []core.CFD {
 	}
 
 	for len(level) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sort.Slice(level, func(i, j int) bool { return level[i].attrs < level[j].attrs })
 		byAttrs := make(map[core.AttrSet]*element, len(level))
 		for _, e := range level {
@@ -140,5 +156,5 @@ func Mine(r *core.Relation) []core.CFD {
 	}
 
 	core.SortCFDs(out)
-	return out
+	return out, nil
 }
