@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet ci clean
+.PHONY: all build test race bench fmt vet ci clean serve-smoke
 
 all: build
 
@@ -35,7 +35,12 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race bench
+# serve-smoke starts cmd/cfdserve on fixture rules + data, drives the API with
+# curl and checks graceful shutdown; CI runs the same script.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+ci: fmt vet build race bench serve-smoke
 
 clean:
 	rm -f BENCH_ci.txt BENCH_ci.json

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/cfd"
+	"repro/violation"
 )
 
 // Violation records the tuples of a relation that violate one rule.
@@ -36,9 +37,12 @@ func (rep *Report) Clean() bool { return len(rep.Violations) == 0 }
 // tuples. Rules referring to constants outside the relation's active domain
 // cannot be violated (no tuple matches them) and are skipped silently; rules
 // naming unknown attributes are reported as errors.
+//
+// Detection is delegated to the indexed engine of repro/violation (bulk load,
+// parallel across rules), so batch and incremental detection share one
+// matcher; this function keeps only the attribute validation and the report
+// conversion.
 func Detect(rel *cfd.Relation, rules []cfd.CFD) (*Report, error) {
-	rep := &Report{RulesChecked: len(rules)}
-	dirty := make(map[int]bool)
 	known := make(map[string]bool)
 	for _, a := range rel.Attributes() {
 		known[a] = true
@@ -55,79 +59,20 @@ func Detect(rel *cfd.Relation, rules []cfd.CFD) (*Report, error) {
 				return nil, fmt.Errorf("cleaning: rule %s: unknown attribute %q", rule, a)
 			}
 		}
-		tuples, err := ruleViolations(rel, rule)
-		if err != nil {
-			return nil, err
-		}
-		if len(tuples) == 0 {
-			continue
-		}
-		rep.Violations = append(rep.Violations, Violation{Rule: rule, Tuples: tuples})
-		for _, t := range tuples {
-			dirty[t] = true
-		}
 	}
-	rep.DirtyTuples = make([]int, 0, len(dirty))
-	for t := range dirty {
-		rep.DirtyTuples = append(rep.DirtyTuples, t)
-	}
-	sort.Ints(rep.DirtyTuples)
-	return rep, nil
-}
-
-// ruleViolations returns the tuples violating one rule, handling constants
-// that do not occur in the relation's active domain:
-//
-//   - a left-hand-side constant outside the domain means no tuple matches the
-//     rule, so nothing can violate it;
-//   - a right-hand-side constant outside the domain (for a constant-RHS rule)
-//     means every tuple matching the left-hand side violates the rule, since
-//     none of them can possibly carry that value.
-func ruleViolations(rel *cfd.Relation, rule cfd.CFD) ([]int, error) {
-	tuples, err := rel.Violations(rule)
-	if err == nil {
-		return tuples, nil
-	}
-	// Distinguish the failing side by retrying with a wildcard right-hand side.
-	lhsOnly := rule
-	lhsOnly.RHSPattern = cfd.Wildcard
-	if _, lhsErr := rel.Violations(lhsOnly); lhsErr != nil {
-		// A LHS constant is outside the active domain: the rule matches nothing.
-		return nil, nil
-	}
-	if rule.RHSPattern == cfd.Wildcard {
-		// The original error did not come from a constant at all.
+	eng, err := violation.New(rel.Attributes(), rules, violation.Options{})
+	if err != nil {
 		return nil, err
 	}
-	return matchingLHS(rel, rule), nil
-}
-
-// matchingLHS returns the tuples whose values match every constant of the
-// rule's left-hand-side pattern.
-func matchingLHS(rel *cfd.Relation, rule cfd.CFD) []int {
-	attrs := rel.Attributes()
-	index := make(map[string]int, len(attrs))
-	for i, a := range attrs {
-		index[a] = i
+	if err := eng.BulkLoad(rel); err != nil {
+		return nil, err
 	}
-	var out []int
-	for t := 0; t < rel.Size(); t++ {
-		row := rel.Row(t)
-		ok := true
-		for i, a := range rule.LHS {
-			if rule.LHSPattern[i] == cfd.Wildcard {
-				continue
-			}
-			if row[index[a]] != rule.LHSPattern[i] {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			out = append(out, t)
-		}
+	vrep := eng.Report()
+	rep := &Report{RulesChecked: vrep.RulesChecked, DirtyTuples: vrep.DirtyTuples}
+	for _, v := range vrep.Violations {
+		rep.Violations = append(rep.Violations, Violation(v))
 	}
-	return out
+	return rep, nil
 }
 
 // TupleReport lists the rules violated by one tuple.

@@ -74,6 +74,93 @@ func TestDetectErrorsAndSkips(t *testing.T) {
 	}
 }
 
+func TestDetectEmptyRelation(t *testing.T) {
+	rel := cfd.MustRelation("A", "B")
+	rep, err := cleaning.Detect(rel, []cfd.CFD{cfd.NewFD([]string{"A"}, "B")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.RulesChecked != 1 || len(rep.DirtyTuples) != 0 {
+		t.Fatalf("empty relation must be clean: %+v", rep)
+	}
+	// No rules at all is equally fine.
+	rep, err = cleaning.Detect(rel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.RulesChecked != 0 {
+		t.Fatalf("no-rule report: %+v", rep)
+	}
+}
+
+func TestDetectConstantOnlyCFDs(t *testing.T) {
+	rel, err := cfd.FromRows([]string{"A", "B"}, [][]string{
+		{"a", "x"}, {"a", "x"}, {"a", "y"}, {"b", "x"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := []cfd.CFD{
+		// Fully constant CFD, violated by tuple 2 alone and, through the
+		// pair semantics, by the whole a-group it disagrees with.
+		{LHS: []string{"A"}, RHS: "B", LHSPattern: []string{"a"}, RHSPattern: "x"},
+		// Constant CFD that holds.
+		{LHS: []string{"A"}, RHS: "B", LHSPattern: []string{"b"}, RHSPattern: "x"},
+	}
+	rep, err := cleaning.Detect(rel, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 1 {
+		t.Fatalf("exactly the first rule is violated: %+v", rep.Violations)
+	}
+	if got := rep.Violations[0].Tuples; len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("violating tuples = %v, want [0 1 2]", got)
+	}
+	// An out-of-domain RHS constant is violated by every LHS-matching tuple.
+	rep, err = cleaning.Detect(rel, []cfd.CFD{
+		{LHS: []string{"A"}, RHS: "B", LHSPattern: []string{"b"}, RHSPattern: "zzz"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.DirtyTuples) != 1 || rep.DirtyTuples[0] != 3 {
+		t.Fatalf("dirty = %v, want [3]", rep.DirtyTuples)
+	}
+}
+
+func TestApplyRepairsIdempotent(t *testing.T) {
+	rel, err := cfd.FromRows([]string{"A", "B"}, [][]string{
+		{"a", "x"}, {"a", "x"}, {"a", "y"}, {"b", "z"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := []cfd.CFD{cfd.NewFD([]string{"A"}, "B")}
+	repairs, err := cleaning.SuggestRepairs(rel, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	once := cleaning.ApplyRepairs(rel, repairs)
+	twice := cleaning.ApplyRepairs(once, repairs)
+	for i := 0; i < once.Size(); i++ {
+		r1, r2 := once.Row(i), twice.Row(i)
+		for a := range r1 {
+			if r1[a] != r2[a] {
+				t.Fatalf("tuple %d differs after re-applying repairs: %v vs %v", i, r1, r2)
+			}
+		}
+	}
+	// Re-suggesting on the repaired relation finds nothing left to fix.
+	again, err := cleaning.SuggestRepairs(once, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 0 {
+		t.Fatalf("repaired relation still suggests repairs: %+v", again)
+	}
+}
+
 func TestSuggestRepairsConstantRule(t *testing.T) {
 	rel := dataset.Cust()
 	rules := []cfd.CFD{{LHS: []string{"AC"}, RHS: "CT", LHSPattern: []string{"131"}, RHSPattern: "EDI"}}

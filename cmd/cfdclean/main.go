@@ -10,9 +10,14 @@
 //
 //	cfdclean -data dirty.csv -rules rules.txt
 //	cfdclean -data dirty.csv -sample clean.csv -support 10 -repair repaired.csv
+//	cfdclean -data dirty.csv -rules rules.txt -json > report.json
+//
+// Exit status composes in pipelines and CI: 0 when the data is clean, 1 when
+// violations were found, 2 on errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +29,29 @@ import (
 	"repro/discovery"
 )
 
+// jsonViolation and jsonRepair are the machine-readable forms of the report.
+type jsonViolation struct {
+	Rule   string `json:"rule"`
+	Tuples []int  `json:"tuples"`
+}
+
+type jsonRepair struct {
+	Tuple     int    `json:"tuple"`
+	Attribute string `json:"attribute"`
+	Current   string `json:"current"`
+	Suggested string `json:"suggested"`
+	Rule      string `json:"rule"`
+}
+
+type jsonReport struct {
+	Tuples       int             `json:"tuples"`
+	RulesChecked int             `json:"rules_checked"`
+	Clean        bool            `json:"clean"`
+	Violations   []jsonViolation `json:"violations"`
+	DirtyTuples  []int           `json:"dirty_tuples"`
+	Repairs      []jsonRepair    `json:"repairs"`
+}
+
 func main() {
 	var (
 		data    = flag.String("data", "", "CSV file to check (header row required)")
@@ -33,6 +61,7 @@ func main() {
 		maxLHS  = flag.Int("maxlhs", 3, "LHS bound used when discovering rules from -sample")
 		repair  = flag.String("repair", "", "write a repaired copy of the data to this CSV file")
 		verbose = flag.Bool("v", false, "list every violated rule with its tuples")
+		jsonOut = flag.Bool("json", false, "write the report as JSON to stdout instead of text")
 	)
 	flag.Parse()
 
@@ -47,38 +76,84 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("checking %d tuples against %d rules\n", rel.Size(), len(ruleSet))
 
 	report, err := cleaning.Detect(rel, ruleSet)
 	if err != nil {
 		fatal(err)
 	}
+	// Clean data needs no repair pass (SuggestRepairs re-detects internally)
+	// and no repaired copy.
+	var repairs []cleaning.Repair
+	repairedPath := ""
+	if !report.Clean() {
+		repairs, err = cleaning.SuggestRepairs(rel, ruleSet)
+		if err != nil {
+			fatal(err)
+		}
+		if *repair != "" {
+			repaired := cleaning.ApplyRepairs(rel, repairs)
+			if err := dataset.SaveCSVFile(*repair, repaired); err != nil {
+				fatal(err)
+			}
+			repairedPath = *repair
+		}
+	}
+
+	if *jsonOut {
+		emitJSON(rel.Size(), report, repairs)
+	} else {
+		emitText(rel, ruleSet, report, repairs, repairedPath, *verbose)
+	}
+	if !report.Clean() {
+		os.Exit(1)
+	}
+}
+
+func emitJSON(tuples int, report *cleaning.Report, repairs []cleaning.Repair) {
+	out := jsonReport{
+		Tuples:       tuples,
+		RulesChecked: report.RulesChecked,
+		Clean:        report.Clean(),
+		Violations:   []jsonViolation{},
+		DirtyTuples:  report.DirtyTuples,
+		Repairs:      []jsonRepair{},
+	}
+	for _, v := range report.Violations {
+		out.Violations = append(out.Violations, jsonViolation{Rule: v.Rule.String(), Tuples: v.Tuples})
+	}
+	for _, rp := range repairs {
+		out.Repairs = append(out.Repairs, jsonRepair{
+			Tuple: rp.Tuple, Attribute: rp.Attribute,
+			Current: rp.Current, Suggested: rp.Suggested, Rule: rp.Rule.String(),
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+func emitText(rel *cfd.Relation, ruleSet []cfd.CFD, report *cleaning.Report, repairs []cleaning.Repair, repairPath string, verbose bool) {
+	fmt.Printf("checking %d tuples against %d rules\n", rel.Size(), len(ruleSet))
 	if report.Clean() {
 		fmt.Println("no violations found")
 		return
 	}
 	fmt.Printf("%d rules violated, %d tuples flagged dirty\n", len(report.Violations), len(report.DirtyTuples))
-	if *verbose {
+	if verbose {
 		for _, v := range report.Violations {
 			fmt.Printf("  %s  -> tuples %v\n", v.Rule, v.Tuples)
 		}
 	}
-	repairs, err := cleaning.SuggestRepairs(rel, ruleSet)
-	if err != nil {
-		fatal(err)
-	}
 	fmt.Printf("%d repairs suggested\n", len(repairs))
-	if *verbose {
+	if verbose {
 		for _, rp := range repairs {
 			fmt.Printf("  tuple %d: %s %q -> %q (rule %s)\n", rp.Tuple, rp.Attribute, rp.Current, rp.Suggested, rp.Rule)
 		}
 	}
-	if *repair != "" {
-		repaired := cleaning.ApplyRepairs(rel, repairs)
-		if err := dataset.SaveCSVFile(*repair, repaired); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote repaired data to %s\n", *repair)
+	if repairPath != "" {
+		fmt.Printf("wrote repaired data to %s\n", repairPath)
 	}
 }
 
@@ -109,5 +184,5 @@ func loadRules(rulesPath, samplePath string, support, maxLHS int) ([]cfd.CFD, er
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "cfdclean:", err)
-	os.Exit(1)
+	os.Exit(2)
 }

@@ -60,17 +60,16 @@ func main() {
 	}
 
 	var body strings.Builder
-	fmt.Fprintf(&body, "# %s on %d tuples x %d attributes, k=%d: %d CFDs (%d constant, %d variable) in %s\n",
-		res.Algorithm, rel.Size(), rel.Arity(), res.Support, len(res.CFDs), res.Constant, res.Variable, res.Elapsed.Round(1e6))
 	if *tableau {
+		fmt.Fprintf(&body, "# %s on %d tuples x %d attributes, k=%d: %d CFDs (%d constant, %d variable) in %s\n",
+			res.Algorithm, rel.Size(), rel.Arity(), res.Support, len(res.CFDs), res.Constant, res.Variable, res.Elapsed.Round(1e6))
 		for _, t := range cfd.BuildTableaux(res.CFDs) {
 			body.WriteString(t.String())
 			body.WriteByte('\n')
 		}
 	} else {
-		sorted := append([]cfd.CFD(nil), res.CFDs...)
-		cfd.SortCFDs(sorted)
-		body.WriteString(cfd.FormatAll(sorted))
+		// The rule-file format shared with cfdclean -rules and cfdserve -rules.
+		body.WriteString(res.RulesText())
 	}
 
 	if *output != "" {

@@ -1,0 +1,140 @@
+// Command cfdserve serves CFD violation detection over HTTP: the serving side
+// of the paper's workflow, where discovered rules become live data-quality
+// checks. Rules come from a rule file (as written by cfddiscover -o) or are
+// discovered on a trusted sample at startup; tuples are then bulk loaded from
+// a CSV and kept current through the API, with the repro/violation engine
+// maintaining per-rule indexes so every mutation costs O(rules), not a
+// rescan.
+//
+// Usage:
+//
+//	cfdserve -rules rules.txt -data dirty.csv
+//	cfdserve -sample clean.csv -support 10 -addr :8080
+//
+// API:
+//
+//	GET    /health                  engine size, rule count, dirty estimate
+//	GET    /rules                   the served rule set
+//	GET    /violations              full snapshot: per-rule tuples + dirty set
+//	GET    /suspects                tuples most likely erroneous (repair view)
+//	POST   /tuples                  insert {"values":[...]} or {"rows":[[...]]}
+//	GET    /tuples/{id}             one tuple's values
+//	GET    /tuples/{id}/violations  rules the tuple violates
+//	PUT    /tuples/{id}             replace {"values":[...]}
+//	DELETE /tuples/{id}             remove the tuple
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/cfd"
+	"repro/dataset"
+	"repro/discovery"
+)
+
+// config carries the parsed command line.
+type config struct {
+	addr      string
+	rulesPath string
+	dataPath  string
+	schema    []string
+	workers   int
+
+	samplePath string
+	support    int
+	maxLHS     int
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		rules   = flag.String("rules", "", "rule file with one CFD per line (as written by cfddiscover -o)")
+		data    = flag.String("data", "", "CSV file to bulk load at startup (header row required)")
+		schema  = flag.String("schema", "", "comma-separated attribute names (needed only without -data/-sample)")
+		workers = flag.Int("workers", 0, "worker goroutines for the bulk load (0 = one per CPU)")
+		sample  = flag.String("sample", "", "trusted CSV sample to discover rules from (alternative to -rules)")
+		support = flag.Int("support", 10, "support threshold used when discovering rules from -sample")
+		maxLHS  = flag.Int("maxlhs", 3, "LHS bound used when discovering rules from -sample")
+	)
+	flag.Parse()
+
+	cfg := config{
+		addr: *addr, rulesPath: *rules, dataPath: *data, workers: *workers,
+		samplePath: *sample, support: *support, maxLHS: *maxLHS,
+	}
+	if *schema != "" {
+		for _, a := range strings.Split(*schema, ",") {
+			cfg.schema = append(cfg.schema, strings.TrimSpace(a))
+		}
+	}
+
+	eng, err := loadEngine(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cfdserve: %d rules over %d attributes, %d tuples loaded\n",
+		len(eng.Rules()), len(eng.Attributes()), eng.Size())
+
+	srv := &http.Server{Addr: cfg.addr, Handler: newServer(eng).handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("cfdserve: listening on %s\n", cfg.addr)
+		errCh <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		fmt.Println("cfdserve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func readFileTrimmed(path string) (string, error) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(text)), nil
+}
+
+func loadCSV(path string) (*cfd.Relation, error) {
+	return dataset.LoadCSVFile(path)
+}
+
+func discoverRules(sample *cfd.Relation, cfg config) ([]cfd.CFD, error) {
+	res, err := discovery.FastCFD(sample, discovery.Options{
+		Support: cfg.support, MaxLHS: cfg.maxLHS, Workers: cfg.workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.CFDs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cfdserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,312 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/cfd"
+	"repro/cleaning"
+	"repro/violation"
+)
+
+// server wraps the single-writer violation engine behind an RWMutex so the
+// HTTP handlers can serve reads concurrently and serialise mutations.
+type server struct {
+	mu      sync.RWMutex
+	eng     *violation.Engine
+	started time.Time
+}
+
+func newServer(eng *violation.Engine) *server {
+	return &server{eng: eng, started: time.Now()}
+}
+
+// handler builds the route table. All bodies and responses are JSON.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /health", s.health)
+	mux.HandleFunc("GET /rules", s.rules)
+	mux.HandleFunc("GET /violations", s.violations)
+	mux.HandleFunc("GET /suspects", s.suspects)
+	mux.HandleFunc("POST /tuples", s.insert)
+	mux.HandleFunc("GET /tuples/{id}", s.tuple)
+	mux.HandleFunc("GET /tuples/{id}/violations", s.tupleViolations)
+	mux.HandleFunc("PUT /tuples/{id}", s.update)
+	mux.HandleFunc("DELETE /tuples/{id}", s.remove)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func pathID(r *http.Request) (int, error) {
+	return strconv.Atoi(r.PathValue("id"))
+}
+
+func (s *server) health(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"tuples": s.eng.Size(),
+		"rules":  len(s.eng.Rules()),
+		// dirty is the O(rules) per-rule sum, an upper bound across
+		// overlapping rules; GET /violations has the exact set.
+		"dirty":  s.eng.DirtyCount(),
+		"uptime": time.Since(s.started).Round(time.Millisecond).String(),
+	})
+}
+
+func (s *server) rules(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rules := s.eng.Rules()
+	out := make([]string, len(rules))
+	for i, rule := range rules {
+		out[i] = rule.String()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"attributes": s.eng.Attributes(), "rules": out})
+}
+
+type violationJSON struct {
+	Rule   string `json:"rule"`
+	Tuples []int  `json:"tuples"`
+}
+
+func (s *server) violations(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rep := s.eng.Report()
+	out := make([]violationJSON, 0, len(rep.Violations))
+	for _, v := range rep.Violations {
+		out = append(out, violationJSON{Rule: v.Rule.String(), Tuples: v.Tuples})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"violations":    out,
+		"dirty":         rep.DirtyTuples,
+		"rules_checked": rep.RulesChecked,
+	})
+}
+
+func (s *server) suspects(w http.ResponseWriter, _ *http.Request) {
+	// Materialise under the read lock, but run the batch suspect analysis on
+	// the copy outside it: it rescans the whole relation, and holding the lock
+	// for that long would stall every writer behind a polling client.
+	s.mu.RLock()
+	rel, ids, err := s.eng.Relation()
+	rules := s.eng.Rules()
+	s.mu.RUnlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	suspects, err := cleaning.Suspects(rel, rules)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := make([]int, len(suspects))
+	for i, t := range suspects {
+		out[i] = ids[t]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"suspects": out})
+}
+
+// insertRequest accepts either a single tuple ("values") or a batch ("rows").
+type insertRequest struct {
+	Values []string   `json:"values,omitempty"`
+	Rows   [][]string `json:"rows,omitempty"`
+}
+
+func (s *server) insert(w http.ResponseWriter, r *http.Request) {
+	var req insertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	rows := req.Rows
+	if len(req.Values) > 0 {
+		rows = append(rows, req.Values)
+	}
+	if len(rows) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("body must carry \"values\" or \"rows\""))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]int, 0, len(rows))
+	for _, row := range rows {
+		id, err := s.eng.Insert(row...)
+		if err != nil {
+			// Earlier rows of the batch stay inserted; report how far we got.
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error(), "ids": ids})
+			return
+		}
+		ids = append(ids, id)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ids":    ids,
+		"tuples": s.eng.Size(),
+		"dirty":  s.eng.DirtyCount(),
+	})
+}
+
+func (s *server) tuple(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	row, err := s.eng.Row(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "values": row})
+}
+
+func (s *server) tupleViolations(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rules, err := s.eng.TupleViolations(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	out := make([]string, len(rules))
+	for i, rule := range rules {
+		out[i] = rule.String()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "violated": out})
+}
+
+func (s *server) update(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req insertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	if len(req.Values) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("body must carry \"values\""))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.eng.Row(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	// The tuple exists, so a failing update is a bad request (arity mismatch).
+	if err := s.eng.Update(id, req.Values...); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "dirty": s.eng.DirtyCount()})
+}
+
+func (s *server) remove(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.eng.Delete(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":     id,
+		"tuples": s.eng.Size(),
+		"dirty":  s.eng.DirtyCount(),
+	})
+}
+
+// loadEngine builds the serving engine from the command-line configuration:
+// rules from a rule file or discovered on a trusted sample, the schema from
+// -data, -schema or the sample, and an optional initial bulk load of -data.
+func loadEngine(cfg config) (*violation.Engine, error) {
+	var rules []cfd.CFD
+	var sampleRel *cfd.Relation
+	if cfg.samplePath != "" {
+		var err error
+		sampleRel, err = loadCSV(cfg.samplePath)
+		if err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case cfg.rulesPath != "":
+		text, err := readFileTrimmed(cfg.rulesPath)
+		if err != nil {
+			return nil, err
+		}
+		rules, err = cfd.ParseAll(text)
+		if err != nil {
+			return nil, err
+		}
+	case sampleRel != nil:
+		res, err := discoverRules(sampleRel, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rules = res
+	default:
+		return nil, fmt.Errorf("either -rules or -sample is required")
+	}
+
+	var initial *cfd.Relation
+	if cfg.dataPath != "" {
+		var err error
+		initial, err = loadCSV(cfg.dataPath)
+		if err != nil {
+			return nil, err
+		}
+	}
+	attrs := cfg.schema
+	switch {
+	case len(attrs) > 0:
+	case initial != nil:
+		attrs = initial.Attributes()
+	case sampleRel != nil:
+		attrs = sampleRel.Attributes()
+	default:
+		return nil, fmt.Errorf("the schema is unknown: pass -data, -sample or -schema")
+	}
+	eng, err := violation.New(attrs, rules, violation.Options{Workers: cfg.workers})
+	if err != nil {
+		return nil, err
+	}
+	if initial != nil {
+		if err := eng.BulkLoad(initial); err != nil {
+			return nil, err
+		}
+	}
+	return eng, nil
+}

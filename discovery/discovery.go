@@ -10,6 +10,9 @@ package discovery
 import (
 	"context"
 	"fmt"
+	"io"
+	"os"
+	"strings"
 	"time"
 
 	"repro/cfd"
@@ -87,9 +90,39 @@ type Result struct {
 	// Constant and Variable count the two classes of reported CFDs.
 	Constant int
 	Variable int
+	// Tuples and Attributes record the size of the mined relation, for the
+	// rule-file summary line.
+	Tuples     int
+	Attributes int
 	// Elapsed is the wall-clock time of the discovery call itself (excluding
 	// data loading).
 	Elapsed time.Duration
+}
+
+// RulesText renders the result as a rule file: a '#' summary comment followed
+// by one CFD per line in the paper's notation, sorted deterministically. The
+// output round-trips through cfd.ParseAll and is the format consumed by
+// cfdclean -rules and cfdserve -rules.
+func (r *Result) RulesText() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s on %d tuples x %d attributes, k=%d: %d CFDs (%d constant, %d variable) in %s\n",
+		r.Algorithm, r.Tuples, r.Attributes, r.Support, len(r.CFDs), r.Constant, r.Variable, r.Elapsed.Round(time.Millisecond))
+	sorted := append([]cfd.CFD(nil), r.CFDs...)
+	cfd.SortCFDs(sorted)
+	b.WriteString(cfd.FormatAll(sorted))
+	return b.String()
+}
+
+// WriteRules writes RulesText to w.
+func (r *Result) WriteRules(w io.Writer) error {
+	_, err := io.WriteString(w, r.RulesText())
+	return err
+}
+
+// SaveRules writes the rule file to path, for handing a discovery run to the
+// detection tools.
+func (r *Result) SaveRules(path string) error {
+	return os.WriteFile(path, []byte(r.RulesText()), 0o644)
 }
 
 // Discover runs the named algorithm on the relation.
@@ -150,10 +183,12 @@ func DiscoverContext(ctx context.Context, alg Algorithm, r *cfd.Relation, opts O
 	elapsed := time.Since(start)
 
 	res := &Result{
-		Algorithm: alg,
-		Support:   opts.support(),
-		CFDs:      cfd.DecodeAll(r, encoded),
-		Elapsed:   elapsed,
+		Algorithm:  alg,
+		Support:    opts.support(),
+		CFDs:       cfd.DecodeAll(r, encoded),
+		Tuples:     r.Size(),
+		Attributes: r.Arity(),
+		Elapsed:    elapsed,
 	}
 	res.Constant, res.Variable = cfd.CountClasses(res.CFDs)
 	return res, nil

@@ -1,6 +1,8 @@
 package discovery_test
 
 import (
+	"os"
+	"strings"
 	"testing"
 
 	"repro/cfd"
@@ -210,5 +212,50 @@ func TestDiscoverOnGeneratedData(t *testing.T) {
 		if !a[s] {
 			t.Errorf("CTANE missing %s", s)
 		}
+	}
+}
+
+// TestRuleExportRoundTrip checks the rule-file helpers: SaveRules/WriteRules
+// emit the format cfd.ParseAll (and thus cfdclean -rules / cfdserve -rules)
+// reads back, preserving the rule set exactly.
+func TestRuleExportRoundTrip(t *testing.T) {
+	res, err := discovery.FastCFD(cust(), discovery.Options{Support: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuples != 8 || res.Attributes != 7 {
+		t.Fatalf("relation size metadata = %d x %d, want 8 x 7", res.Tuples, res.Attributes)
+	}
+	path := t.TempDir() + "/rules.txt"
+	if err := res.SaveRules(path); err != nil {
+		t.Fatal(err)
+	}
+	text, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(text), "# fastcfd on 8 tuples x 7 attributes") {
+		t.Fatalf("missing summary header: %q", string(text)[:60])
+	}
+	parsed, err := cfd.ParseAll(string(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := keys(parsed), keys(res.CFDs); len(got) != len(want) {
+		t.Fatalf("round trip lost rules: %d parsed, %d discovered", len(got), len(want))
+	} else {
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("rule %s missing after round trip", k)
+			}
+		}
+	}
+	// WriteRules emits the same bytes.
+	var buf strings.Builder
+	if err := res.WriteRules(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != string(text) {
+		t.Fatal("WriteRules and SaveRules disagree")
 	}
 }

@@ -9,7 +9,11 @@
 //     NaiveFast, plus the TANE and FastFD baselines.
 //   - repro/dataset   — CSV IO, the synthetic Tax generator (ARITY/DBSIZE/CF)
 //     and shape-preserving stand-ins for the UCI data sets.
-//   - repro/cleaning  — CFD-based violation detection and repair suggestions.
+//   - repro/violation — the incremental violation-detection engine: per-rule
+//     hash indexes, bulk load plus O(rules) Insert/Delete/Update, streaming
+//     snapshots and per-tuple lookup; served over HTTP by cmd/cfdserve.
+//   - repro/cleaning  — CFD-based violation detection (delegating to
+//     repro/violation) and repair suggestions.
 //   - repro/experiments — regeneration of every figure of the paper's §6.
 //
 // The root package only hosts the repository-level benchmarks

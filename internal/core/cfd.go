@@ -129,49 +129,16 @@ func Violations(r *Relation, c CFD) []int {
 	if c.IsTrivial() {
 		return nil
 	}
-	rhsConst := c.Tp[c.RHS]
-	attrs := c.LHS.Attrs()
-	type group struct {
-		tids   []int
-		values map[int32]bool
-	}
-	groups := make(map[string]*group)
-	var keyBuf []byte
-	bad := make(map[int]bool)
+	ix := NewRuleIndex(c)
+	row := make([]int32, r.Arity())
+	attrs := c.Attrs().Attrs()
 	for t := 0; t < r.Size(); t++ {
-		if !c.Tp.MatchesTuple(r, t, c.LHS) {
-			continue
-		}
-		av := r.Value(t, c.RHS)
-		if rhsConst != Wildcard && av != rhsConst {
-			bad[t] = true
-		}
-		keyBuf = keyBuf[:0]
 		for _, a := range attrs {
-			keyBuf = appendCode(keyBuf, r.Value(t, a))
+			row[a] = r.Value(t, a)
 		}
-		k := string(keyBuf)
-		g := groups[k]
-		if g == nil {
-			g = &group{values: make(map[int32]bool)}
-			groups[k] = g
-		}
-		g.tids = append(g.tids, t)
-		g.values[av] = true
+		ix.Insert(t, row)
 	}
-	for _, g := range groups {
-		if len(g.values) > 1 {
-			for _, t := range g.tids {
-				bad[t] = true
-			}
-		}
-	}
-	out := make([]int, 0, len(bad))
-	for t := range bad {
-		out = append(out, t)
-	}
-	sort.Ints(out)
-	return out
+	return ix.Violating()
 }
 
 // Support returns |sup(c, r)|: the number of tuples matching the pattern of c

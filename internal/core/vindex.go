@@ -1,0 +1,156 @@
+package core
+
+import "sort"
+
+// RuleIndex maintains, incrementally, the set of tuples violating one CFD.
+// Tuples are grouped by their (encoded) values on the CFD's LHS attributes,
+// after filtering on the LHS pattern constants; each group tracks the
+// multiplicity of every RHS value it contains. A group is violating when its
+// tuples disagree on the RHS, or — for a constant-RHS CFD — when any of its
+// tuples misses the RHS constant, in which case every tuple of the group is
+// involved in a violating pair under the paper's exact pair semantics (§2.1.2).
+//
+// Insert and Delete cost O(|LHS|) map work per call, independent of the number
+// of tuples indexed, which is what makes incremental detection sub-linear
+// compared to a full rescan. The batch Violations function and the public
+// repro/violation engine are both built on this type, so there is a single
+// source of truth for what counts as a violating tuple.
+type RuleIndex struct {
+	c      CFD
+	lhs    []int // ascending LHS attribute indexes
+	groups map[string]*vgroup
+	bad    int // total tuples currently in violating groups
+}
+
+// vgroup is the state of one LHS-value equivalence class.
+type vgroup struct {
+	tuples map[int]int32 // tuple id -> RHS code
+	counts map[int32]int // RHS code -> multiplicity
+	bad    bool
+}
+
+// NewRuleIndex returns an empty index for the CFD.
+func NewRuleIndex(c CFD) *RuleIndex {
+	return &RuleIndex{c: c, lhs: c.LHS.Attrs(), groups: make(map[string]*vgroup)}
+}
+
+// CFD returns the rule the index maintains.
+func (ix *RuleIndex) CFD() CFD { return ix.c }
+
+// matches reports whether the row matches the LHS pattern constants. Rows that
+// do not match are outside the rule's scope and never indexed.
+func (ix *RuleIndex) matches(row []int32) bool {
+	for _, a := range ix.lhs {
+		if p := ix.c.Tp[a]; p != Wildcard && row[a] != p {
+			return false
+		}
+	}
+	return true
+}
+
+// key builds the group key of a row: its encoded values on the LHS attributes.
+func (ix *RuleIndex) key(row []int32) string {
+	buf := make([]byte, 0, 4*len(ix.lhs))
+	for _, a := range ix.lhs {
+		buf = appendCode(buf, row[a])
+	}
+	return string(buf)
+}
+
+// recompute re-derives the group's violating flag from its counts: disagreement
+// on the RHS, or any tuple missing the RHS constant of a constant-RHS rule.
+func (g *vgroup) recompute(rhsConst int32) {
+	g.bad = len(g.counts) > 1 ||
+		(rhsConst != Wildcard && len(g.tuples) > 0 && g.counts[rhsConst] < len(g.tuples))
+}
+
+// Insert adds tuple id with the given encoded row. Rows not matching the LHS
+// pattern are ignored. Only row entries at the rule's LHS and RHS attribute
+// indexes are read; the row is not retained.
+func (ix *RuleIndex) Insert(id int, row []int32) {
+	if !ix.matches(row) {
+		return
+	}
+	k := ix.key(row)
+	g := ix.groups[k]
+	if g == nil {
+		g = &vgroup{tuples: make(map[int]int32), counts: make(map[int32]int)}
+		ix.groups[k] = g
+	}
+	if g.bad {
+		ix.bad -= len(g.tuples)
+	}
+	av := row[ix.c.RHS]
+	g.tuples[id] = av
+	g.counts[av]++
+	g.recompute(ix.c.Tp[ix.c.RHS])
+	if g.bad {
+		ix.bad += len(g.tuples)
+	}
+}
+
+// Delete removes tuple id, given the same encoded row it was inserted with.
+// Unknown ids and non-matching rows are ignored.
+func (ix *RuleIndex) Delete(id int, row []int32) {
+	if !ix.matches(row) {
+		return
+	}
+	k := ix.key(row)
+	g := ix.groups[k]
+	if g == nil {
+		return
+	}
+	av, ok := g.tuples[id]
+	if !ok {
+		return
+	}
+	if g.bad {
+		ix.bad -= len(g.tuples)
+	}
+	delete(g.tuples, id)
+	if g.counts[av]--; g.counts[av] == 0 {
+		delete(g.counts, av)
+	}
+	if len(g.tuples) == 0 {
+		delete(ix.groups, k)
+		return
+	}
+	g.recompute(ix.c.Tp[ix.c.RHS])
+	if g.bad {
+		ix.bad += len(g.tuples)
+	}
+}
+
+// IsViolating reports whether tuple id, with the given encoded row, is
+// currently involved in a violation of the rule.
+func (ix *RuleIndex) IsViolating(id int, row []int32) bool {
+	if !ix.matches(row) {
+		return false
+	}
+	g := ix.groups[ix.key(row)]
+	if g == nil || !g.bad {
+		return false
+	}
+	_, ok := g.tuples[id]
+	return ok
+}
+
+// BadTuples returns the number of tuples currently involved in a violation,
+// in O(1).
+func (ix *RuleIndex) BadTuples() int { return ix.bad }
+
+// Violating returns the ids of all tuples currently involved in a violation,
+// in ascending order.
+func (ix *RuleIndex) Violating() []int {
+	out := make([]int, 0, ix.bad)
+	for _, g := range ix.groups {
+		if !g.bad {
+			continue
+		}
+		for id := range g.tuples {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

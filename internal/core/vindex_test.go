@@ -1,0 +1,164 @@
+package core_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixture"
+)
+
+// naiveViolations is an independent oracle for the tuples involved in a
+// violation, written directly from the paper's pair semantics: a tuple t
+// violates a constant-RHS CFD on its own when it matches the LHS pattern but
+// t[A] differs from the constant, and a pair (t1, t2) violates the CFD when
+// both match the LHS pattern, agree on the LHS attributes, and disagree on the
+// RHS attribute.
+func naiveViolations(r *core.Relation, c core.CFD) []int {
+	if c.IsTrivial() {
+		return nil
+	}
+	rhsConst := c.Tp[c.RHS]
+	attrs := c.LHS.Attrs()
+	matches := func(t int) bool {
+		for _, a := range attrs {
+			if p := c.Tp[a]; p != core.Wildcard && r.Value(t, a) != p {
+				return false
+			}
+		}
+		return true
+	}
+	agree := func(t1, t2 int) bool {
+		for _, a := range attrs {
+			if r.Value(t1, a) != r.Value(t2, a) {
+				return false
+			}
+		}
+		return true
+	}
+	bad := make(map[int]bool)
+	for t1 := 0; t1 < r.Size(); t1++ {
+		if !matches(t1) {
+			continue
+		}
+		if rhsConst != core.Wildcard && r.Value(t1, c.RHS) != rhsConst {
+			bad[t1] = true
+		}
+		for t2 := t1 + 1; t2 < r.Size(); t2++ {
+			if !matches(t2) || !agree(t1, t2) {
+				continue
+			}
+			if r.Value(t1, c.RHS) != r.Value(t2, c.RHS) {
+				bad[t1] = true
+				bad[t2] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(bad))
+	for t := range bad {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func randomVindexCFD(rng *rand.Rand, r *core.Relation) core.CFD {
+	n := r.Arity()
+	rhs := rng.Intn(n)
+	lhs := core.EmptyAttrSet
+	for a := 0; a < n; a++ {
+		if a != rhs && rng.Intn(2) == 0 {
+			lhs = lhs.Add(a)
+		}
+	}
+	tp := core.NewPattern(n)
+	lhs.ForEach(func(a int) {
+		if rng.Intn(2) == 0 {
+			tp[a] = int32(rng.Intn(r.DomainSize(a)))
+		}
+	})
+	if rng.Intn(2) == 0 {
+		tp[rhs] = int32(rng.Intn(r.DomainSize(rhs)))
+	}
+	return core.CFD{LHS: lhs, RHS: rhs, Tp: tp}
+}
+
+// TestRuleIndexMatchesNaiveOracle checks that batch Violations (which routes
+// through RuleIndex) agrees with the brute-force pair-semantics oracle on
+// random relations and rules.
+func TestRuleIndexMatchesNaiveOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		r := fixture.Random(int64(trial), 20+rng.Intn(30), []int{2, 3, 2, 4})
+		for i := 0; i < 15; i++ {
+			c := randomVindexCFD(rng, r)
+			got := core.Violations(r, c)
+			want := naiveViolations(r, c)
+			if !equalInts(got, want) {
+				t.Fatalf("trial %d: Violations = %v, oracle = %v for %s", trial, got, want, c.Format(r))
+			}
+		}
+	}
+}
+
+// TestRuleIndexIncrementalDelete checks that after deleting tuples from a
+// fully-loaded index, the violating set equals a fresh index built over the
+// surviving tuples only.
+func TestRuleIndexIncrementalDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		r := fixture.Random(int64(100+trial), 30, []int{2, 2, 3, 2})
+		c := randomVindexCFD(rng, r)
+		ix := core.NewRuleIndex(c)
+		rows := make([][]int32, r.Size())
+		for t0 := 0; t0 < r.Size(); t0++ {
+			rows[t0] = r.CodedRow(t0)
+			ix.Insert(t0, rows[t0])
+		}
+		// Delete a random third of the tuples.
+		deleted := make(map[int]bool)
+		for t0 := 0; t0 < r.Size(); t0++ {
+			if rng.Intn(3) == 0 {
+				ix.Delete(t0, rows[t0])
+				deleted[t0] = true
+			}
+		}
+		ref := core.NewRuleIndex(c)
+		for t0 := 0; t0 < r.Size(); t0++ {
+			if !deleted[t0] {
+				ref.Insert(t0, rows[t0])
+			}
+		}
+		got, want := ix.Violating(), ref.Violating()
+		if !equalInts(got, want) {
+			t.Fatalf("trial %d: after deletes Violating = %v, rebuilt = %v for %s", trial, got, want, c.Format(r))
+		}
+		if ix.BadTuples() != len(got) {
+			t.Fatalf("trial %d: BadTuples = %d, |Violating| = %d", trial, ix.BadTuples(), len(got))
+		}
+		// Per-tuple lookup agrees with the snapshot.
+		inSnap := make(map[int]bool, len(got))
+		for _, id := range got {
+			inSnap[id] = true
+		}
+		for t0 := 0; t0 < r.Size(); t0++ {
+			is := !deleted[t0] && ix.IsViolating(t0, rows[t0])
+			if is != inSnap[t0] {
+				t.Fatalf("trial %d: IsViolating(%d) = %v, snapshot says %v", trial, t0, is, inSnap[t0])
+			}
+		}
+	}
+}

@@ -1,0 +1,383 @@
+// Package violation is the serving side of the paper's CFD workflow: an
+// indexed, incremental violation-detection engine. Where repro/cleaning's
+// original detector rescanned the whole relation for every rule, the Engine
+// maintains one hash index per rule — tuples grouped by their left-hand-side
+// values, filtered on the rule's pattern constants — so that inserting,
+// deleting or updating a tuple only touches the affected group of each rule:
+// O(rules) map work per tuple, independent of the relation size.
+//
+// An Engine is built from a rule set ([]cfd.CFD or pattern tableaux), bulk
+// loaded from a *cfd.Relation (in parallel across rules, on repro/internal/
+// pool), and then kept current with Insert / Delete / Update as tuples arrive
+// and change. The current violation state is read back as a streaming
+// Violations sequence, a Report (the same shape repro/cleaning returns), or a
+// per-tuple lookup. On any bulk-loaded relation the Engine reports exactly the
+// violation set of the paper's batch semantics (§2.1.2): the batch detectors
+// in repro/cleaning and repro/cfd route through the same underlying index
+// (internal/core.RuleIndex), so there is one source of truth.
+//
+// The Engine is not safe for concurrent use; callers serving multiple
+// goroutines (such as cmd/cfdserve) must wrap it in a lock. All read-only
+// methods (Violations, Report, Dirty, TupleViolations, ...) may share a read
+// lock.
+package violation
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"sort"
+
+	"repro/cfd"
+	"repro/internal/core"
+	"repro/internal/pool"
+)
+
+// Violation records the tuples currently violating one rule.
+type Violation struct {
+	Rule   cfd.CFD
+	Tuples []int
+}
+
+// Report is a full snapshot of the engine's violation state, mirroring the
+// shape of repro/cleaning's batch report.
+type Report struct {
+	// Violations holds one entry per violated rule, in rule order.
+	Violations []Violation
+	// DirtyTuples is the sorted union of all violating tuple ids.
+	DirtyTuples []int
+	// RulesChecked is the number of rules the engine maintains.
+	RulesChecked int
+}
+
+// Clean reports whether no violations are present.
+func (rep *Report) Clean() bool { return len(rep.Violations) == 0 }
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds the number of goroutines BulkLoad may use: 0 runs one
+	// worker per available CPU (the default), 1 runs sequentially. Incremental
+	// Insert/Delete/Update are always single-threaded; they are O(rules) per
+	// call and not worth fanning out.
+	Workers int
+}
+
+// Engine is an incremental violation detector over a fixed rule set and a
+// mutable set of tuples. Tuple ids are assigned by Insert/BulkLoad in arrival
+// order, starting at 0, and are never reused; for a relation loaded by a
+// single BulkLoad the ids coincide with the relation's tuple indexes.
+//
+// Id stability has a cost: each ever-assigned id keeps a (nil after Delete)
+// slot in the engine's row table, and the per-attribute interning tables only
+// grow. A deployment with unbounded insert/delete churn should periodically
+// rebuild the engine from Relation() (re-basing ids) to reclaim that memory.
+type Engine struct {
+	schema  *core.Schema
+	dicts   []*core.Dict // engine-owned interning tables, one per attribute
+	rules   []cfd.CFD
+	indexes []*core.RuleIndex
+	rows    [][]int32 // tuple id -> encoded row; nil once deleted
+	live    int
+	workers int
+}
+
+// New builds an engine over the given attribute schema and single-pattern
+// rules. Rules must be structurally valid and may only name the given
+// attributes; rule constants outside any data seen so far are fine (they
+// simply match no tuple until one arrives). The rule order is preserved in
+// every snapshot.
+func New(attributes []string, rules []cfd.CFD, opts Options) (*Engine, error) {
+	schema, err := core.NewSchema(attributes...)
+	if err != nil {
+		return nil, fmt.Errorf("violation: %w", err)
+	}
+	e := &Engine{
+		schema:  schema,
+		dicts:   make([]*core.Dict, schema.Arity()),
+		workers: opts.Workers,
+	}
+	for a := range e.dicts {
+		e.dicts[a] = core.NewDict()
+	}
+	for _, rule := range rules {
+		if err := e.addRule(rule); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// NewFromTableaux is New for rules given as pattern tableaux; each tableau is
+// expanded into its single-pattern CFDs (§2.3).
+func NewFromTableaux(attributes []string, tableaux []cfd.TableauCFD, opts Options) (*Engine, error) {
+	var rules []cfd.CFD
+	for _, t := range tableaux {
+		rules = append(rules, t.CFDs()...)
+	}
+	return New(attributes, rules, opts)
+}
+
+// addRule validates and compiles one rule against the engine's schema. Rule
+// constants are interned into the engine's dictionaries up front, so encoding
+// never fails on constants outside the active domain — such constants hold
+// codes no tuple carries until a matching value is inserted.
+func (e *Engine) addRule(rule cfd.CFD) error {
+	if err := rule.Validate(); err != nil {
+		return fmt.Errorf("violation: %w", err)
+	}
+	rhs, ok := e.schema.Index(rule.RHS)
+	if !ok {
+		return fmt.Errorf("violation: rule %s: unknown attribute %q", rule, rule.RHS)
+	}
+	enc := core.CFD{RHS: rhs, Tp: core.NewPattern(e.schema.Arity())}
+	for i, name := range rule.LHS {
+		a, ok := e.schema.Index(name)
+		if !ok {
+			return fmt.Errorf("violation: rule %s: unknown attribute %q", rule, name)
+		}
+		enc.LHS = enc.LHS.Add(a)
+		if rule.LHSPattern[i] != cfd.Wildcard {
+			enc.Tp[a] = e.dicts[a].Encode(rule.LHSPattern[i])
+		}
+	}
+	if rule.RHSPattern != cfd.Wildcard {
+		enc.Tp[rhs] = e.dicts[rhs].Encode(rule.RHSPattern)
+	}
+	e.rules = append(e.rules, rule)
+	e.indexes = append(e.indexes, core.NewRuleIndex(enc))
+	return nil
+}
+
+// encode interns one tuple's values through the engine dictionaries.
+func (e *Engine) encode(values []string) ([]int32, error) {
+	if len(values) != e.schema.Arity() {
+		return nil, fmt.Errorf("violation: tuple has %d values, schema has %d attributes", len(values), e.schema.Arity())
+	}
+	row := make([]int32, len(values))
+	for a, v := range values {
+		row[a] = e.dicts[a].Encode(v)
+	}
+	return row, nil
+}
+
+// row returns the encoded row of a live tuple id.
+func (e *Engine) row(id int) ([]int32, error) {
+	if id < 0 || id >= len(e.rows) || e.rows[id] == nil {
+		return nil, fmt.Errorf("violation: tuple %d not found", id)
+	}
+	return e.rows[id], nil
+}
+
+// Insert adds one tuple (values in schema order) and returns its id. Each
+// rule's index is updated in O(affected group).
+func (e *Engine) Insert(values ...string) (int, error) {
+	row, err := e.encode(values)
+	if err != nil {
+		return 0, err
+	}
+	id := len(e.rows)
+	e.rows = append(e.rows, row)
+	e.live++
+	for _, ix := range e.indexes {
+		ix.Insert(id, row)
+	}
+	return id, nil
+}
+
+// Delete removes the tuple with the given id.
+func (e *Engine) Delete(id int) error {
+	row, err := e.row(id)
+	if err != nil {
+		return err
+	}
+	for _, ix := range e.indexes {
+		ix.Delete(id, row)
+	}
+	e.rows[id] = nil
+	e.live--
+	return nil
+}
+
+// Update replaces the values of the tuple with the given id, keeping its id.
+func (e *Engine) Update(id int, values ...string) error {
+	old, err := e.row(id)
+	if err != nil {
+		return err
+	}
+	row, err := e.encode(values)
+	if err != nil {
+		return err
+	}
+	for _, ix := range e.indexes {
+		ix.Delete(id, old)
+		ix.Insert(id, row)
+	}
+	e.rows[id] = row
+	return nil
+}
+
+// BulkLoad appends every tuple of the relation, whose attributes must match
+// the engine's schema exactly (same names, same order). Index building is
+// parallelised across rules under the engine's worker budget; the resulting
+// state is identical for every worker count.
+func (e *Engine) BulkLoad(rel *cfd.Relation) error {
+	return e.BulkLoadContext(context.Background(), rel)
+}
+
+// BulkLoadContext is BulkLoad under a context. A cancelled load returns
+// ctx.Err() and leaves the engine partially loaded; discard it.
+func (e *Engine) BulkLoadContext(ctx context.Context, rel *cfd.Relation) error {
+	attrs := rel.Attributes()
+	if len(attrs) != e.schema.Arity() {
+		return fmt.Errorf("violation: relation has %d attributes, engine schema has %d", len(attrs), e.schema.Arity())
+	}
+	for a, name := range attrs {
+		if e.schema.Name(a) != name {
+			return fmt.Errorf("violation: relation attribute %d is %q, engine schema has %q", a, name, e.schema.Name(a))
+		}
+	}
+	// The relation is already dictionary-encoded, so instead of re-interning
+	// every cell as a string, translate each attribute's codes into the
+	// engine's code space once (O(distinct values) string work per attribute)
+	// and map rows by integer indexing. Interning mutates the shared
+	// dictionaries, so this part runs sequentially; the per-rule index
+	// building below carries the real cost and fans out.
+	start := len(e.rows)
+	inner := rel.Encoded()
+	arity := e.schema.Arity()
+	trans := make([][]int32, arity)
+	for a := 0; a < arity; a++ {
+		values := inner.Dict(a).Values()
+		trans[a] = make([]int32, len(values))
+		for code, v := range values {
+			trans[a][code] = e.dicts[a].Encode(v)
+		}
+	}
+	for t := 0; t < rel.Size(); t++ {
+		row := make([]int32, arity)
+		for a := 0; a < arity; a++ {
+			row[a] = trans[a][inner.Value(t, a)]
+		}
+		e.rows = append(e.rows, row)
+		e.live++
+	}
+	return pool.Each(ctx, e.workers, len(e.indexes), func(_, ri int) {
+		ix := e.indexes[ri]
+		for id := start; id < len(e.rows); id++ {
+			ix.Insert(id, e.rows[id])
+		}
+	})
+}
+
+// Size returns the number of live tuples.
+func (e *Engine) Size() int { return e.live }
+
+// Rules returns the engine's rules in order. The slice is shared; do not
+// modify it.
+func (e *Engine) Rules() []cfd.CFD { return e.rules }
+
+// Attributes returns the engine's attribute names in schema order.
+func (e *Engine) Attributes() []string { return e.schema.Names() }
+
+// Row returns the values of a live tuple in schema order.
+func (e *Engine) Row(id int) ([]string, error) {
+	row, err := e.row(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(row))
+	for a, code := range row {
+		out[a] = e.dicts[a].Value(code)
+	}
+	return out, nil
+}
+
+// Violations streams the current snapshot: one Violation per violated rule,
+// in rule order, with tuple ids ascending. Each yielded Tuples slice is
+// freshly built and owned by the consumer.
+func (e *Engine) Violations() iter.Seq[Violation] {
+	return func(yield func(Violation) bool) {
+		for i, ix := range e.indexes {
+			if ix.BadTuples() == 0 {
+				continue
+			}
+			if !yield(Violation{Rule: e.rules[i], Tuples: ix.Violating()}) {
+				return
+			}
+		}
+	}
+}
+
+// Report materialises the streaming snapshot, mirroring the batch report of
+// repro/cleaning: on a freshly bulk-loaded relation the two are identical.
+func (e *Engine) Report() *Report {
+	rep := &Report{RulesChecked: len(e.rules)}
+	dirty := make(map[int]bool)
+	for v := range e.Violations() {
+		rep.Violations = append(rep.Violations, v)
+		for _, t := range v.Tuples {
+			dirty[t] = true
+		}
+	}
+	rep.DirtyTuples = make([]int, 0, len(dirty))
+	for t := range dirty {
+		rep.DirtyTuples = append(rep.DirtyTuples, t)
+	}
+	sort.Ints(rep.DirtyTuples)
+	return rep
+}
+
+// Dirty returns the sorted union of all violating tuple ids.
+func (e *Engine) Dirty() []int { return e.Report().DirtyTuples }
+
+// DirtyCount returns an upper bound on the number of violating tuples in
+// O(rules): the sum of per-rule violating counts, without deduplication
+// across rules. It is cheap enough for health endpoints polled per request.
+func (e *Engine) DirtyCount() int {
+	n := 0
+	for _, ix := range e.indexes {
+		n += ix.BadTuples()
+	}
+	return n
+}
+
+// TupleViolations returns the rules the given live tuple currently violates,
+// in rule order, in O(rules).
+func (e *Engine) TupleViolations(id int) ([]cfd.CFD, error) {
+	row, err := e.row(id)
+	if err != nil {
+		return nil, err
+	}
+	var out []cfd.CFD
+	for i, ix := range e.indexes {
+		if ix.IsViolating(id, row) {
+			out = append(out, e.rules[i])
+		}
+	}
+	return out, nil
+}
+
+// Relation materialises the live tuples as a *cfd.Relation together with the
+// engine id of each of its tuples, for handing the current state to batch
+// consumers (repair suggestion, re-discovery, export).
+func (e *Engine) Relation() (*cfd.Relation, []int, error) {
+	rel, err := cfd.NewRelation(e.schema.Names()...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("violation: %w", err)
+	}
+	ids := make([]int, 0, e.live)
+	for id, row := range e.rows {
+		if row == nil {
+			continue
+		}
+		values := make([]string, len(row))
+		for a, code := range row {
+			values[a] = e.dicts[a].Value(code)
+		}
+		if err := rel.Append(values...); err != nil {
+			return nil, nil, fmt.Errorf("violation: %w", err)
+		}
+		ids = append(ids, id)
+	}
+	return rel, ids, nil
+}

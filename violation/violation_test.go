@@ -1,0 +1,412 @@
+package violation_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/cfd"
+	"repro/dataset"
+	"repro/discovery"
+	"repro/violation"
+)
+
+// naiveDetect is the seed implementation of repro/cleaning's batch detector,
+// kept here verbatim as the reference the engine must reproduce byte for byte:
+// every rule is evaluated by a full-relation scan through cfd.Relation
+// .Violations, with the seed's handling of rule constants outside the active
+// domain (an out-of-domain LHS constant matches nothing; an out-of-domain RHS
+// constant is violated by every LHS-matching tuple).
+func naiveDetect(t *testing.T, rel *cfd.Relation, rules []cfd.CFD) []violation.Violation {
+	t.Helper()
+	var out []violation.Violation
+	for _, rule := range rules {
+		tuples, err := naiveRuleViolations(rel, rule)
+		if err != nil {
+			t.Fatalf("naive detect: %v", err)
+		}
+		if len(tuples) > 0 {
+			out = append(out, violation.Violation{Rule: rule, Tuples: tuples})
+		}
+	}
+	return out
+}
+
+func naiveRuleViolations(rel *cfd.Relation, rule cfd.CFD) ([]int, error) {
+	tuples, err := rel.Violations(rule)
+	if err == nil {
+		return tuples, nil
+	}
+	lhsOnly := rule
+	lhsOnly.RHSPattern = cfd.Wildcard
+	if _, lhsErr := rel.Violations(lhsOnly); lhsErr != nil {
+		return nil, nil
+	}
+	if rule.RHSPattern == cfd.Wildcard {
+		return nil, err
+	}
+	attrs := rel.Attributes()
+	index := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		index[a] = i
+	}
+	var out []int
+	for t := 0; t < rel.Size(); t++ {
+		row := rel.Row(t)
+		ok := true
+		for i, a := range rule.LHS {
+			if rule.LHSPattern[i] != cfd.Wildcard && row[index[a]] != rule.LHSPattern[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+func collect(e *violation.Engine) []violation.Violation {
+	var out []violation.Violation
+	for v := range e.Violations() {
+		out = append(out, v)
+	}
+	return out
+}
+
+// fixtures returns relation/rule-set pairs covering constant, variable and
+// mixed rules, out-of-domain constants on both sides, empty-LHS rules and
+// discovered rule sets on noisy data.
+func fixtures(t *testing.T) []struct {
+	name  string
+	rel   *cfd.Relation
+	rules []cfd.CFD
+} {
+	t.Helper()
+	cust := dataset.Cust()
+	custRules := []cfd.CFD{
+		{LHS: []string{"AC"}, RHS: "CT", LHSPattern: []string{"131"}, RHSPattern: "EDI"},
+		cfd.NewFD([]string{"CC", "ZIP"}, "STR"),
+		// Mixed rule: constant RHS under a wildcard LHS entry.
+		{LHS: []string{"CC"}, RHS: "CT", LHSPattern: []string{"_"}, RHSPattern: "MH"},
+		// Out-of-domain LHS constant: matches nothing.
+		{LHS: []string{"CC"}, RHS: "CT", LHSPattern: []string{"99"}, RHSPattern: "XXX"},
+		// Out-of-domain RHS constant: every matching tuple violates.
+		{LHS: []string{"CC"}, RHS: "CT", LHSPattern: []string{"01"}, RHSPattern: "XXX"},
+		// Empty LHS: the RHS must be globally constant.
+		{LHS: nil, RHS: "CC", LHSPattern: nil, RHSPattern: "01"},
+	}
+
+	clean, err := dataset.Tax(dataset.TaxConfig{Size: 300, Arity: 7, CF: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := discovery.FastCFD(clean, discovery.Options{Support: 6, MaxLHS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CFDs) == 0 {
+		t.Fatal("no rules discovered on clean tax data")
+	}
+	dirty, _ := dataset.InjectNoise(clean, 0.08, 5)
+
+	return []struct {
+		name  string
+		rel   *cfd.Relation
+		rules []cfd.CFD
+	}{
+		{"cust", cust, custRules},
+		{"tax-discovered", dirty, res.CFDs},
+	}
+}
+
+// TestBulkLoadMatchesNaiveDetect is the cross-check the engine is defined by:
+// a bulk-loaded engine reports exactly the violation set of the seed batch
+// detector, rule by rule, tuple by tuple.
+func TestBulkLoadMatchesNaiveDetect(t *testing.T) {
+	for _, fx := range fixtures(t) {
+		t.Run(fx.name, func(t *testing.T) {
+			eng, err := violation.New(fx.rel.Attributes(), fx.rules, violation.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.BulkLoad(fx.rel); err != nil {
+				t.Fatal(err)
+			}
+			got := collect(eng)
+			want := naiveDetect(t, fx.rel, fx.rules)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("engine snapshot:\n%v\nnaive detect:\n%v", got, want)
+			}
+		})
+	}
+}
+
+// TestIncrementalInsertMatchesBulk inserts the relation one tuple at a time
+// and requires the exact state of a single bulk load after every prefix-final
+// state, plus identical reports at the end.
+func TestIncrementalInsertMatchesBulk(t *testing.T) {
+	for _, fx := range fixtures(t) {
+		t.Run(fx.name, func(t *testing.T) {
+			bulk, err := violation.New(fx.rel.Attributes(), fx.rules, violation.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := bulk.BulkLoad(fx.rel); err != nil {
+				t.Fatal(err)
+			}
+			inc, err := violation.New(fx.rel.Attributes(), fx.rules, violation.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < fx.rel.Size(); i++ {
+				id, err := inc.Insert(fx.rel.Row(i)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if id != i {
+					t.Fatalf("insert %d got id %d", i, id)
+				}
+			}
+			if !reflect.DeepEqual(inc.Report(), bulk.Report()) {
+				t.Fatalf("incremental report:\n%+v\nbulk report:\n%+v", inc.Report(), bulk.Report())
+			}
+		})
+	}
+}
+
+// TestWorkerCountsAgree checks BulkLoad determinism across worker budgets.
+func TestWorkerCountsAgree(t *testing.T) {
+	fx := fixtures(t)[1]
+	var reports []*violation.Report
+	for _, workers := range []int{1, 4} {
+		eng, err := violation.New(fx.rel.Attributes(), fx.rules, violation.Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.BulkLoad(fx.rel); err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, eng.Report())
+	}
+	if !reflect.DeepEqual(reports[0], reports[1]) {
+		t.Fatal("bulk load reports differ across worker counts")
+	}
+}
+
+// TestDeleteAndUpdateMaintenance mutates the engine and cross-checks every
+// state against a naive detect over the matching materialised relation.
+func TestDeleteAndUpdateMaintenance(t *testing.T) {
+	rel, err := cfd.FromRows([]string{"A", "B"}, [][]string{
+		{"a", "x"}, {"a", "x"}, {"a", "y"}, {"b", "z"}, {"c", "v"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := []cfd.CFD{
+		cfd.NewFD([]string{"A"}, "B"),
+		{LHS: []string{"A"}, RHS: "B", LHSPattern: []string{"c"}, RHSPattern: "w"},
+	}
+	eng, err := violation.New(rel.Attributes(), rules, violation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.BulkLoad(rel); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(step string) {
+		t.Helper()
+		cur, ids, err := eng.Relation()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveDetect(t, cur, rules)
+		// Translate the naive result from relation indexes to engine ids.
+		for vi := range want {
+			for ti, tu := range want[vi].Tuples {
+				want[vi].Tuples[ti] = ids[tu]
+			}
+		}
+		got := collect(eng)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: engine %v, naive %v", step, got, want)
+		}
+	}
+
+	check("after bulk load")
+	// Deleting the deviant of the a-group heals the FD violation there.
+	if err := eng.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	check("after delete")
+	// Updating tuple 4 to carry the rule constant heals the constant rule.
+	if err := eng.Update(4, "c", "w"); err != nil {
+		t.Fatal(err)
+	}
+	check("after healing update")
+	// Updating tuple 3 into the a-group with a fresh B value re-violates.
+	if err := eng.Update(3, "a", "q"); err != nil {
+		t.Fatal(err)
+	}
+	check("after dirtying update")
+	// Fresh insert into a clean group.
+	if _, err := eng.Insert("d", "d1"); err != nil {
+		t.Fatal(err)
+	}
+	check("after insert")
+	if eng.Size() != 5 {
+		t.Fatalf("live size = %d, want 5 (5 loaded - 1 deleted + 1 inserted)", eng.Size())
+	}
+}
+
+func TestTupleViolationsAndDirty(t *testing.T) {
+	fx := fixtures(t)[0]
+	eng, err := violation.New(fx.rel.Attributes(), fx.rules, violation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.BulkLoad(fx.rel); err != nil {
+		t.Fatal(err)
+	}
+	rep := eng.Report()
+	dirty := make(map[int]bool)
+	for _, id := range rep.DirtyTuples {
+		dirty[id] = true
+	}
+	for id := 0; id < eng.Size(); id++ {
+		rules, err := eng.TupleViolations(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (len(rules) > 0) != dirty[id] {
+			t.Fatalf("tuple %d: %d violated rules but dirty=%v", id, len(rules), dirty[id])
+		}
+	}
+	if eng.DirtyCount() < len(rep.DirtyTuples) {
+		t.Fatalf("DirtyCount %d < |DirtyTuples| %d", eng.DirtyCount(), len(rep.DirtyTuples))
+	}
+	if got := eng.Dirty(); !reflect.DeepEqual(got, rep.DirtyTuples) {
+		t.Fatalf("Dirty %v != report %v", got, rep.DirtyTuples)
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	attrs := []string{"A", "B"}
+	if _, err := violation.New(attrs, []cfd.CFD{cfd.NewFD([]string{"BOGUS"}, "B")}, violation.Options{}); err == nil {
+		t.Error("unknown LHS attribute must error")
+	}
+	if _, err := violation.New(attrs, []cfd.CFD{cfd.NewFD([]string{"A"}, "BOGUS")}, violation.Options{}); err == nil {
+		t.Error("unknown RHS attribute must error")
+	}
+	malformed := cfd.CFD{LHS: []string{"A"}, RHS: "B", LHSPattern: []string{"1", "2"}, RHSPattern: "_"}
+	if _, err := violation.New(attrs, []cfd.CFD{malformed}, violation.Options{}); err == nil {
+		t.Error("malformed rule must error")
+	}
+	eng, err := violation.New(attrs, []cfd.CFD{cfd.NewFD([]string{"A"}, "B")}, violation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Insert("only-one-value"); err == nil {
+		t.Error("arity mismatch on insert must error")
+	}
+	if err := eng.Delete(0); err == nil {
+		t.Error("deleting an unknown id must error")
+	}
+	id, err := eng.Insert("a", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Delete(id); err == nil {
+		t.Error("double delete must error")
+	}
+	if _, err := eng.TupleViolations(id); err == nil {
+		t.Error("per-tuple lookup of a deleted id must error")
+	}
+	other := cfd.MustRelation("X", "Y")
+	if err := eng.BulkLoad(other); err == nil {
+		t.Error("bulk load with a mismatched schema must error")
+	}
+}
+
+func TestNewFromTableaux(t *testing.T) {
+	rel := dataset.Cust()
+	rules := []cfd.CFD{
+		{LHS: []string{"AC"}, RHS: "CT", LHSPattern: []string{"131"}, RHSPattern: "EDI"},
+		{LHS: []string{"AC"}, RHS: "CT", LHSPattern: []string{"908"}, RHSPattern: "MH"},
+	}
+	tableaux := cfd.BuildTableaux(rules)
+	if len(tableaux) != 1 || len(tableaux[0].Patterns) != 2 {
+		t.Fatalf("expected one tableau with two patterns, got %v", tableaux)
+	}
+	fromTab, err := violation.NewFromTableaux(rel.Attributes(), tableaux, violation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fromTab.BulkLoad(rel); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(fromTab.Rules()), 2; got != want {
+		t.Fatalf("tableau engine has %d rules, want %d", got, want)
+	}
+	// Same violation state as the expanded rule set (rule order differs only
+	// by the tableau's deterministic pattern sort, so compare dirty sets).
+	flat, err := violation.New(rel.Attributes(), rules, violation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flat.BulkLoad(rel); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromTab.Dirty(), flat.Dirty()) {
+		t.Fatalf("tableau dirty %v != flat dirty %v", fromTab.Dirty(), flat.Dirty())
+	}
+}
+
+// TestViolationsStreamingStops checks that the snapshot sequence honours an
+// early break, which is what makes it usable for first-match queries.
+func TestViolationsStreamingStops(t *testing.T) {
+	fx := fixtures(t)[0]
+	eng, err := violation.New(fx.rel.Attributes(), fx.rules, violation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.BulkLoad(fx.rel); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for range eng.Violations() {
+		n++
+		break
+	}
+	if n != 1 {
+		t.Fatalf("streamed %d violations after break, want 1", n)
+	}
+}
+
+func ExampleEngine() {
+	rel := dataset.Cust()
+	rules := []cfd.CFD{{LHS: []string{"AC"}, RHS: "CT", LHSPattern: []string{"131"}, RHSPattern: "EDI"}}
+	eng, err := violation.New(rel.Attributes(), rules, violation.Options{})
+	if err != nil {
+		panic(err)
+	}
+	if err := eng.BulkLoad(rel); err != nil {
+		panic(err)
+	}
+	fmt.Println("dirty after load:", eng.Dirty())
+	_, _ = eng.Insert("44", "131", "5555555", "Amy", "High St.", "GLA", "EH4 1DT")
+	fmt.Println("dirty after insert:", eng.Dirty())
+	// Repairing the two wrong city values heals the whole AC=131 group.
+	_ = eng.Update(7, "01", "131", "2222222", "Sean", "3rd Str.", "EDI", "01202")
+	_ = eng.Update(8, "44", "131", "5555555", "Amy", "High St.", "EDI", "EH4 1DT")
+	fmt.Println("dirty after repair:", eng.Dirty())
+	// Output:
+	// dirty after load: [4 5 7]
+	// dirty after insert: [4 5 7 8]
+	// dirty after repair: []
+}
