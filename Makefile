@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet ci clean serve-smoke
+.PHONY: all build test race bench fmt vet fuzz ci clean serve-smoke
 
 all: build
 
@@ -35,12 +35,19 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# fuzz runs the cfd.Parse/String round-trip fuzzers for a short CI-sized
+# budget each; the corpus seeds also run as normal tests under `make test`.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./cfd -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./cfd -run '^$$' -fuzz '^FuzzFormat$$' -fuzztime $(FUZZTIME)
+
 # serve-smoke starts cmd/cfdserve on fixture rules + data, drives the API with
 # curl and checks graceful shutdown; CI runs the same script.
 serve-smoke:
 	./scripts/serve_smoke.sh
 
-ci: fmt vet build race bench serve-smoke
+ci: fmt vet build race fuzz bench serve-smoke
 
 clean:
 	rm -f BENCH_ci.txt BENCH_ci.json

@@ -88,16 +88,28 @@ func (c CFD) Validate() error {
 
 // String renders the CFD in the paper's notation, e.g.
 // "([CC,AC] -> CT, (01, 908 || MH))". Attributes are shown in the order given.
+// Names and constants that would collide with the notation's separators are
+// double-quoted, so the output always parses back with Parse.
 func (c CFD) String() string {
 	var b strings.Builder
 	b.WriteString("([")
-	b.WriteString(strings.Join(c.LHS, ","))
+	for i, a := range c.LHS {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(quoteToken(a))
+	}
 	b.WriteString("] -> ")
-	b.WriteString(c.RHS)
+	b.WriteString(quoteToken(c.RHS))
 	b.WriteString(", (")
-	b.WriteString(strings.Join(c.LHSPattern, ", "))
+	for i, p := range c.LHSPattern {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(quoteToken(p))
+	}
 	b.WriteString(" || ")
-	b.WriteString(c.RHSPattern)
+	b.WriteString(quoteToken(c.RHSPattern))
 	b.WriteString("))")
 	return b.String()
 }

@@ -1,0 +1,75 @@
+package cfd_test
+
+import (
+	"testing"
+
+	"repro/cfd"
+)
+
+// FuzzParse checks that Parse and String are a closed pair: any input Parse
+// accepts must render to a string that parses back to the same CFD, and the
+// rendering must be canonical (String of the reparse is byte-identical). This
+// is the round-trip contract cfddiscover's rule files, cfdclean -rules and
+// cfdserve -rules rely on.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"([CC,AC] -> CT, (01, _ || MH))",
+		"([ZIP] -> STR, (_ || _))",
+		"([] -> CC, ( || 01))",
+		"( [ CC ] ->  CT , ( 44 || EDI ) )",
+		`(["a,b"] -> B, ("x(" || "y,z"))`,
+		`([A] -> "we]ird", (_ || "||"))`,
+		`([A] -> B, ("" || " spaced "))`,
+		`([A,B] -> C, (v"1, v2 || w))`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := cfd.Parse(s)
+		if err != nil {
+			t.Skip()
+		}
+		rendered := c.String()
+		back, err := cfd.Parse(rendered)
+		if err != nil {
+			t.Fatalf("Parse(%q) succeeded but its rendering %q does not parse: %v", s, rendered, err)
+		}
+		if !back.Equal(c) {
+			t.Fatalf("round trip changed the CFD: %q parsed to %#v, rendering %q parsed to %#v", s, c, rendered, back)
+		}
+		if again := back.String(); again != rendered {
+			t.Fatalf("String is not canonical: %q then %q", rendered, again)
+		}
+	})
+}
+
+// FuzzFormat drives the opposite direction: an arbitrary structurally valid
+// CFD — whatever bytes its attribute names and constants contain — must
+// survive String → Parse unchanged. This is what catches the historical
+// escaping bugs (values containing ',', '(', ']', '|', quotes, or surrounding
+// whitespace).
+func FuzzFormat(f *testing.F) {
+	f.Add("CC", "AC", "CT", "01", "_", "MH")
+	f.Add("a,b", "c(d", "e]f", "_", "\"q\"", " spaced ")
+	f.Add("A", "B", "C", "", "v|w", "x\\y")
+	f.Add("A", "B", "C", "_", "_", "_")
+	f.Fuzz(func(t *testing.T, a1, a2, rhs, p1, p2, pr string) {
+		c := cfd.CFD{
+			LHS:        []string{a1, a2},
+			RHS:        rhs,
+			LHSPattern: []string{p1, p2},
+			RHSPattern: pr,
+		}
+		if c.Validate() != nil {
+			t.Skip()
+		}
+		rendered := c.String()
+		back, err := cfd.Parse(rendered)
+		if err != nil {
+			t.Fatalf("%#v rendered as %q, which does not parse: %v", c, rendered, err)
+		}
+		if !back.Equal(c) {
+			t.Fatalf("%#v rendered as %q, which parsed to %#v", c, rendered, back)
+		}
+	})
+}

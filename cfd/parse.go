@@ -2,8 +2,97 @@ package cfd
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
+
+// The paper's notation separates tokens with the characters '[', ']', '(',
+// ')', ',' and '|', and uses "_" for the unnamed variable. Attribute names and
+// constants that would collide with those separators (or with surrounding
+// whitespace trimming) are written as Go double-quoted strings, so that every
+// CFD — whatever its values — round-trips through String and Parse. Plain
+// tokens are written bare, which keeps the classic examples of the paper
+// unchanged.
+
+// needsQuote reports whether a token must be double-quoted to survive the
+// rule-file notation: empty strings, tokens with leading or trailing
+// whitespace, and tokens containing a separator, quote, backslash or control
+// character.
+func needsQuote(s string) bool {
+	if s == "" {
+		return true
+	}
+	if s != strings.TrimSpace(s) {
+		return true
+	}
+	for _, r := range s {
+		switch r {
+		case ',', '(', ')', '[', ']', '|', '"', '\\':
+			return true
+		}
+		if r < 0x20 || r == 0x7f {
+			return true
+		}
+	}
+	return false
+}
+
+// quoteToken renders one attribute name or pattern entry. The wildcard "_" is
+// never quoted: it is the notation's unnamed variable.
+func quoteToken(s string) string {
+	if needsQuote(s) {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// decodeToken reverses quoteToken: a token starting with a double quote is
+// unquoted, anything else is returned verbatim.
+func decodeToken(s string) (string, error) {
+	if strings.HasPrefix(s, `"`) {
+		return strconv.Unquote(s)
+	}
+	return s, nil
+}
+
+// indexUnquoted returns the index of the first occurrence of sep in s outside
+// double-quoted segments, or -1.
+func indexUnquoted(s, sep string) int {
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		if inQuote {
+			switch s[i] {
+			case '\\':
+				i++ // skip the escaped byte
+			case '"':
+				inQuote = false
+			}
+			continue
+		}
+		if s[i] == '"' {
+			inQuote = true
+			continue
+		}
+		if strings.HasPrefix(s[i:], sep) {
+			return i
+		}
+	}
+	return -1
+}
+
+// splitUnquoted splits s on every occurrence of sep outside double-quoted
+// segments.
+func splitUnquoted(s, sep string) []string {
+	var out []string
+	for {
+		i := indexUnquoted(s, sep)
+		if i < 0 {
+			return append(out, s)
+		}
+		out = append(out, s[:i])
+		s = s[i+len(sep):]
+	}
+}
 
 // Parse reads a CFD written in the paper's notation, as produced by
 // CFD.String, for example:
@@ -12,8 +101,11 @@ import (
 //	([ZIP] -> STR, (_ || _))
 //	([] -> CC, ( || 01))
 //
-// Whitespace around separators is ignored. Constants may not contain the
-// characters '[', ']', '(', ')', ',' or '|'; the unnamed variable is "_".
+// Whitespace around separators is ignored and the unnamed variable is "_".
+// Constants and attribute names containing a separator character (or leading/
+// trailing whitespace) are Go double-quoted, e.g.
+//
+//	([CT] -> STR, (NYC || "5th Ave, No. 1"))
 func Parse(s string) (CFD, error) {
 	orig := s
 	s = strings.TrimSpace(s)
@@ -24,7 +116,7 @@ func Parse(s string) (CFD, error) {
 	if !strings.HasPrefix(s, "[") {
 		return CFD{}, fmt.Errorf("cfd: %q: expected '[' starting the LHS attribute list", orig)
 	}
-	close := strings.Index(s, "]")
+	close := indexUnquoted(s, "]")
 	if close < 0 {
 		return CFD{}, fmt.Errorf("cfd: %q: unterminated LHS attribute list", orig)
 	}
@@ -34,35 +126,50 @@ func Parse(s string) (CFD, error) {
 		return CFD{}, fmt.Errorf("cfd: %q: expected '->' after the LHS attribute list", orig)
 	}
 	rest = strings.TrimSpace(rest[2:])
-	comma := strings.Index(rest, ",")
+	comma := indexUnquoted(rest, ",")
 	if comma < 0 {
 		return CFD{}, fmt.Errorf("cfd: %q: expected ',' after the RHS attribute", orig)
 	}
-	rhs := strings.TrimSpace(rest[:comma])
+	rhs, err := decodeToken(strings.TrimSpace(rest[:comma]))
+	if err != nil {
+		return CFD{}, fmt.Errorf("cfd: %q: RHS attribute: %w", orig, err)
+	}
 	patPart := strings.TrimSpace(rest[comma+1:])
 	if !strings.HasPrefix(patPart, "(") || !strings.HasSuffix(patPart, ")") {
 		return CFD{}, fmt.Errorf("cfd: %q: expected parenthesised pattern tuple", orig)
 	}
 	patPart = patPart[1 : len(patPart)-1]
-	bar := strings.Index(patPart, "||")
+	bar := indexUnquoted(patPart, "||")
 	if bar < 0 {
 		return CFD{}, fmt.Errorf("cfd: %q: expected '||' separating LHS and RHS patterns", orig)
 	}
 	lhsPatPart := strings.TrimSpace(patPart[:bar])
-	rhsPat := strings.TrimSpace(patPart[bar+2:])
-	if rhsPat == "" {
+	rhsPatTok := strings.TrimSpace(patPart[bar+2:])
+	if rhsPatTok == "" {
 		return CFD{}, fmt.Errorf("cfd: %q: empty RHS pattern", orig)
+	}
+	rhsPat, err := decodeToken(rhsPatTok)
+	if err != nil {
+		return CFD{}, fmt.Errorf("cfd: %q: RHS pattern: %w", orig, err)
 	}
 
 	c := CFD{RHS: rhs, RHSPattern: rhsPat}
 	if lhsPart != "" {
-		for _, a := range strings.Split(lhsPart, ",") {
-			c.LHS = append(c.LHS, strings.TrimSpace(a))
+		for _, a := range splitUnquoted(lhsPart, ",") {
+			tok, err := decodeToken(strings.TrimSpace(a))
+			if err != nil {
+				return CFD{}, fmt.Errorf("cfd: %q: LHS attribute: %w", orig, err)
+			}
+			c.LHS = append(c.LHS, tok)
 		}
 	}
 	if lhsPatPart != "" {
-		for _, p := range strings.Split(lhsPatPart, ",") {
-			c.LHSPattern = append(c.LHSPattern, strings.TrimSpace(p))
+		for _, p := range splitUnquoted(lhsPatPart, ",") {
+			tok, err := decodeToken(strings.TrimSpace(p))
+			if err != nil {
+				return CFD{}, fmt.Errorf("cfd: %q: LHS pattern: %w", orig, err)
+			}
+			c.LHSPattern = append(c.LHSPattern, tok)
 		}
 	}
 	if len(c.LHS) != len(c.LHSPattern) {

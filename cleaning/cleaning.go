@@ -1,9 +1,9 @@
 // Package cleaning is the data-cleaning application layer motivating the
 // paper: discovered CFDs are used as data quality rules to detect, localise
 // and suggest repairs for inconsistencies in a relation. It covers the
-// workflow of §1 of the paper (and of the repair literature it cites): mine
-// rules from a trusted sample with repro/discovery, then run Detect /
-// SuggestRepairs on the data to be cleaned.
+// workflow of §1 of the paper (and of the repair literature it cites): mine a
+// rules.Set from a trusted sample with repro/discovery (Engine.Run), then run
+// Detect / SuggestRepairs with that set on the data to be cleaned.
 package cleaning
 
 import (
@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/cfd"
+	"repro/rules"
 	"repro/violation"
 )
 
@@ -33,21 +34,21 @@ type Report struct {
 // Clean reports whether no violations were found.
 func (rep *Report) Clean() bool { return len(rep.Violations) == 0 }
 
-// Detect evaluates every rule against the relation and collects the violating
-// tuples. Rules referring to constants outside the relation's active domain
-// cannot be violated (no tuple matches them) and are skipped silently; rules
-// naming unknown attributes are reported as errors.
+// Detect evaluates every rule of the set against the relation and collects
+// the violating tuples. Rules referring to constants outside the relation's
+// active domain cannot be violated (no tuple matches them) and are skipped
+// silently; rules naming unknown attributes are reported as errors.
 //
 // Detection is delegated to the indexed engine of repro/violation (bulk load,
 // parallel across rules), so batch and incremental detection share one
 // matcher; this function keeps only the attribute validation and the report
 // conversion.
-func Detect(rel *cfd.Relation, rules []cfd.CFD) (*Report, error) {
+func Detect(rel *cfd.Relation, set *rules.Set) (*Report, error) {
 	known := make(map[string]bool)
 	for _, a := range rel.Attributes() {
 		known[a] = true
 	}
-	for _, rule := range rules {
+	for _, rule := range set.CFDs() {
 		if err := rule.Validate(); err != nil {
 			return nil, err
 		}
@@ -60,7 +61,7 @@ func Detect(rel *cfd.Relation, rules []cfd.CFD) (*Report, error) {
 			}
 		}
 	}
-	eng, err := violation.New(rel.Attributes(), rules, violation.Options{})
+	eng, err := violation.New(rel.Attributes(), set, violation.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -104,17 +105,17 @@ func ByTuple(rep *Report) []TupleReport {
 // variable rule. This is a sharper signal than Report.DirtyTuples, which
 // contains every tuple involved in any violating pair (for a variable rule a
 // single wrong tuple drags its whole group in).
-func Suspects(rel *cfd.Relation, rules []cfd.CFD) ([]int, error) {
-	repairs, err := SuggestRepairs(rel, rules)
+func Suspects(rel *cfd.Relation, set *rules.Set) ([]int, error) {
+	repairs, err := SuggestRepairs(rel, set)
 	if err != nil {
 		return nil, err
 	}
-	set := make(map[int]bool)
+	seen := make(map[int]bool)
 	for _, rp := range repairs {
-		set[rp.Tuple] = true
+		seen[rp.Tuple] = true
 	}
-	out := make([]int, 0, len(set))
-	for t := range set {
+	out := make([]int, 0, len(seen))
+	for t := range seen {
 		out = append(out, t)
 	}
 	sort.Ints(out)
@@ -139,8 +140,8 @@ type Repair struct {
 //
 // The suggestions are heuristics in the spirit of the repair methods the paper
 // cites ([2], [27]); they are not guaranteed to be a minimal repair.
-func SuggestRepairs(rel *cfd.Relation, rules []cfd.CFD) ([]Repair, error) {
-	rep, err := Detect(rel, rules)
+func SuggestRepairs(rel *cfd.Relation, set *rules.Set) ([]Repair, error) {
+	rep, err := Detect(rel, set)
 	if err != nil {
 		return nil, err
 	}

@@ -7,13 +7,14 @@ import (
 	"repro/cleaning"
 	"repro/dataset"
 	"repro/discovery"
+	"repro/rules"
 )
 
-func custRules() []cfd.CFD {
-	return []cfd.CFD{
-		{LHS: []string{"AC"}, RHS: "CT", LHSPattern: []string{"131"}, RHSPattern: "EDI"},
+func custRules() *rules.Set {
+	return rules.Of(
+		cfd.CFD{LHS: []string{"AC"}, RHS: "CT", LHSPattern: []string{"131"}, RHSPattern: "EDI"},
 		cfd.NewFD([]string{"CC", "ZIP"}, "STR"),
-	}
+	)
 }
 
 func TestDetectOnCust(t *testing.T) {
@@ -52,20 +53,20 @@ func TestDetectOnCust(t *testing.T) {
 func TestDetectErrorsAndSkips(t *testing.T) {
 	rel := dataset.Cust()
 	// Unknown attribute: hard error.
-	if _, err := cleaning.Detect(rel, []cfd.CFD{cfd.NewFD([]string{"BOGUS"}, "CT")}); err == nil {
+	if _, err := cleaning.Detect(rel, rules.Of(cfd.NewFD([]string{"BOGUS"}, "CT"))); err == nil {
 		t.Error("unknown attribute must error")
 	}
-	if _, err := cleaning.Detect(rel, []cfd.CFD{cfd.NewFD([]string{"CC"}, "BOGUS")}); err == nil {
+	if _, err := cleaning.Detect(rel, rules.Of(cfd.NewFD([]string{"CC"}, "BOGUS"))); err == nil {
 		t.Error("unknown RHS attribute must error")
 	}
 	// Malformed rule: hard error.
 	bad := cfd.CFD{LHS: []string{"CC"}, RHS: "CT", LHSPattern: []string{"01", "02"}, RHSPattern: "_"}
-	if _, err := cleaning.Detect(rel, []cfd.CFD{bad}); err == nil {
+	if _, err := cleaning.Detect(rel, rules.Of(bad)); err == nil {
 		t.Error("malformed rule must error")
 	}
 	// Constant outside the active domain: the rule matches nothing and is skipped.
-	rules := []cfd.CFD{{LHS: []string{"CC"}, RHS: "CT", LHSPattern: []string{"99"}, RHSPattern: "XXX"}}
-	rep, err := cleaning.Detect(rel, rules)
+	set := rules.Of(cfd.CFD{LHS: []string{"CC"}, RHS: "CT", LHSPattern: []string{"99"}, RHSPattern: "XXX"})
+	rep, err := cleaning.Detect(rel, set)
 	if err != nil {
 		t.Fatalf("out-of-domain constant should be skipped, got error %v", err)
 	}
@@ -76,7 +77,7 @@ func TestDetectErrorsAndSkips(t *testing.T) {
 
 func TestDetectEmptyRelation(t *testing.T) {
 	rel := cfd.MustRelation("A", "B")
-	rep, err := cleaning.Detect(rel, []cfd.CFD{cfd.NewFD([]string{"A"}, "B")})
+	rep, err := cleaning.Detect(rel, rules.Of(cfd.NewFD([]string{"A"}, "B")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,14 +101,14 @@ func TestDetectConstantOnlyCFDs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rules := []cfd.CFD{
+	set := rules.Of(
 		// Fully constant CFD, violated by tuple 2 alone and, through the
 		// pair semantics, by the whole a-group it disagrees with.
-		{LHS: []string{"A"}, RHS: "B", LHSPattern: []string{"a"}, RHSPattern: "x"},
+		cfd.CFD{LHS: []string{"A"}, RHS: "B", LHSPattern: []string{"a"}, RHSPattern: "x"},
 		// Constant CFD that holds.
-		{LHS: []string{"A"}, RHS: "B", LHSPattern: []string{"b"}, RHSPattern: "x"},
-	}
-	rep, err := cleaning.Detect(rel, rules)
+		cfd.CFD{LHS: []string{"A"}, RHS: "B", LHSPattern: []string{"b"}, RHSPattern: "x"},
+	)
+	rep, err := cleaning.Detect(rel, set)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,9 +119,9 @@ func TestDetectConstantOnlyCFDs(t *testing.T) {
 		t.Fatalf("violating tuples = %v, want [0 1 2]", got)
 	}
 	// An out-of-domain RHS constant is violated by every LHS-matching tuple.
-	rep, err = cleaning.Detect(rel, []cfd.CFD{
-		{LHS: []string{"A"}, RHS: "B", LHSPattern: []string{"b"}, RHSPattern: "zzz"},
-	})
+	rep, err = cleaning.Detect(rel, rules.Of(
+		cfd.CFD{LHS: []string{"A"}, RHS: "B", LHSPattern: []string{"b"}, RHSPattern: "zzz"},
+	))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,8 +137,8 @@ func TestApplyRepairsIdempotent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rules := []cfd.CFD{cfd.NewFD([]string{"A"}, "B")}
-	repairs, err := cleaning.SuggestRepairs(rel, rules)
+	set := rules.Of(cfd.NewFD([]string{"A"}, "B"))
+	repairs, err := cleaning.SuggestRepairs(rel, set)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestApplyRepairsIdempotent(t *testing.T) {
 		}
 	}
 	// Re-suggesting on the repaired relation finds nothing left to fix.
-	again, err := cleaning.SuggestRepairs(once, rules)
+	again, err := cleaning.SuggestRepairs(once, set)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,8 +164,8 @@ func TestApplyRepairsIdempotent(t *testing.T) {
 
 func TestSuggestRepairsConstantRule(t *testing.T) {
 	rel := dataset.Cust()
-	rules := []cfd.CFD{{LHS: []string{"AC"}, RHS: "CT", LHSPattern: []string{"131"}, RHSPattern: "EDI"}}
-	repairs, err := cleaning.SuggestRepairs(rel, rules)
+	set := rules.Of(cfd.CFD{LHS: []string{"AC"}, RHS: "CT", LHSPattern: []string{"131"}, RHSPattern: "EDI"})
+	repairs, err := cleaning.SuggestRepairs(rel, set)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestSuggestRepairsConstantRule(t *testing.T) {
 		t.Fatalf("expected a repair for t8, got %+v", repairs)
 	}
 	repaired := cleaning.ApplyRepairs(rel, repairs)
-	rep, err := cleaning.Detect(repaired, rules)
+	rep, err := cleaning.Detect(repaired, set)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,8 +201,8 @@ func TestSuggestRepairsVariableRule(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rules := []cfd.CFD{cfd.NewFD([]string{"A"}, "B")}
-	repairs, err := cleaning.SuggestRepairs(rel, rules)
+	set := rules.Of(cfd.NewFD([]string{"A"}, "B"))
+	repairs, err := cleaning.SuggestRepairs(rel, set)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestSuggestRepairsVariableRule(t *testing.T) {
 		t.Fatalf("unexpected repairs: %+v", repairs)
 	}
 	repaired := cleaning.ApplyRepairs(rel, repairs)
-	rep, err := cleaning.Detect(repaired, rules)
+	rep, err := cleaning.Detect(repaired, set)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,11 +228,11 @@ func TestSuspects(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rules := []cfd.CFD{
+	set := rules.Of(
 		cfd.NewFD([]string{"A"}, "B"),
-		{LHS: []string{"A"}, RHS: "B", LHSPattern: []string{"c"}, RHSPattern: "v"},
-	}
-	suspects, err := cleaning.Suspects(rel, rules)
+		cfd.CFD{LHS: []string{"A"}, RHS: "B", LHSPattern: []string{"c"}, RHSPattern: "v"},
+	)
+	suspects, err := cleaning.Suspects(rel, set)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestSuspects(t *testing.T) {
 		t.Errorf("suspects = %v, want [2 4]", suspects)
 	}
 	// The broad dirty set is larger than the suspect set.
-	rep, err := cleaning.Detect(rel, rules)
+	rep, err := cleaning.Detect(rel, set)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestEndToEndCleaningPipeline(t *testing.T) {
 		t.Fatal("no rules discovered on clean data")
 	}
 	dirty, perturbed := dataset.InjectNoise(clean, 0.05, 7)
-	rep, err := cleaning.Detect(dirty, res.CFDs)
+	rep, err := cleaning.Detect(dirty, res.Set())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,9 +2,10 @@
 // optionally suggests and applies repairs — the data-cleaning workflow that
 // motivates the paper.
 //
-// Rules either come from a rule file (one CFD per line in the paper's
-// notation, as written by cfddiscover) or are discovered on a trusted sample
-// given with -sample.
+// Rules either come from a rule file — the text format written by cfddiscover
+// (one CFD per line in the paper's notation) or the rules.Set JSON served by
+// cfdserve's GET /rules, sniffed automatically — or are discovered on a
+// trusted sample given with -sample.
 //
 // Usage:
 //
@@ -17,16 +18,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/cfd"
 	"repro/cleaning"
 	"repro/dataset"
 	"repro/discovery"
+	"repro/rules"
 )
 
 // jsonViolation and jsonRepair are the machine-readable forms of the report.
@@ -54,14 +56,14 @@ type jsonReport struct {
 
 func main() {
 	var (
-		data    = flag.String("data", "", "CSV file to check (header row required)")
-		rules   = flag.String("rules", "", "rule file with one CFD per line")
-		sample  = flag.String("sample", "", "trusted CSV sample to discover rules from (alternative to -rules)")
-		support = flag.Int("support", 10, "support threshold used when discovering rules from -sample")
-		maxLHS  = flag.Int("maxlhs", 3, "LHS bound used when discovering rules from -sample")
-		repair  = flag.String("repair", "", "write a repaired copy of the data to this CSV file")
-		verbose = flag.Bool("v", false, "list every violated rule with its tuples")
-		jsonOut = flag.Bool("json", false, "write the report as JSON to stdout instead of text")
+		data      = flag.String("data", "", "CSV file to check (header row required)")
+		rulesPath = flag.String("rules", "", "rule file: cfddiscover -o text or rules.Set JSON")
+		sample    = flag.String("sample", "", "trusted CSV sample to discover rules from (alternative to -rules)")
+		support   = flag.Int("support", 10, "support threshold used when discovering rules from -sample")
+		maxLHS    = flag.Int("maxlhs", 3, "LHS bound used when discovering rules from -sample")
+		repair    = flag.String("repair", "", "write a repaired copy of the data to this CSV file")
+		verbose   = flag.Bool("v", false, "list every violated rule with its tuples")
+		jsonOut   = flag.Bool("json", false, "write the report as JSON to stdout instead of text")
 	)
 	flag.Parse()
 
@@ -72,7 +74,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ruleSet, err := loadRules(*rules, *sample, *support, *maxLHS)
+	ruleSet, err := loadRules(*rulesPath, *sample, *support, *maxLHS)
 	if err != nil {
 		fatal(err)
 	}
@@ -134,8 +136,8 @@ func emitJSON(tuples int, report *cleaning.Report, repairs []cleaning.Repair) {
 	}
 }
 
-func emitText(rel *cfd.Relation, ruleSet []cfd.CFD, report *cleaning.Report, repairs []cleaning.Repair, repairPath string, verbose bool) {
-	fmt.Printf("checking %d tuples against %d rules\n", rel.Size(), len(ruleSet))
+func emitText(rel *cfd.Relation, ruleSet *rules.Set, report *cleaning.Report, repairs []cleaning.Repair, repairPath string, verbose bool) {
+	fmt.Printf("checking %d tuples against %d rules\n", rel.Size(), ruleSet.Len())
 	if report.Clean() {
 		fmt.Println("no violations found")
 		return
@@ -157,26 +159,19 @@ func emitText(rel *cfd.Relation, ruleSet []cfd.CFD, report *cleaning.Report, rep
 	}
 }
 
-func loadRules(rulesPath, samplePath string, support, maxLHS int) ([]cfd.CFD, error) {
+func loadRules(rulesPath, samplePath string, support, maxLHS int) (*rules.Set, error) {
 	switch {
 	case rulesPath != "":
-		text, err := os.ReadFile(rulesPath)
-		if err != nil {
-			return nil, err
-		}
-		// Rule files written by cfddiscover start with a '#' summary line, which
-		// ParseAll skips as a comment.
-		return cfd.ParseAll(strings.TrimSpace(string(text)))
+		// Both rule-file formats are accepted; rules.Load sniffs them.
+		return rules.Load(rulesPath)
 	case samplePath != "":
 		sampleRel, err := dataset.LoadCSVFile(samplePath)
 		if err != nil {
 			return nil, err
 		}
-		res, err := discovery.FastCFD(sampleRel, discovery.Options{Support: support, MaxLHS: maxLHS})
-		if err != nil {
-			return nil, err
-		}
-		return res.CFDs, nil
+		eng := discovery.NewEngine(discovery.AlgFastCFD, sampleRel,
+			discovery.WithSupport(support), discovery.WithMaxLHS(maxLHS))
+		return eng.Run(context.Background())
 	default:
 		return nil, fmt.Errorf("either -rules or -sample is required")
 	}

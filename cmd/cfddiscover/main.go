@@ -1,17 +1,28 @@
 // Command cfddiscover discovers conditional functional dependencies in a CSV
-// file using any of the paper's algorithms.
+// file using any of the paper's algorithms, through the streaming
+// discovery.Engine.
 //
 // Usage:
 //
 //	cfddiscover -input data.csv -algorithm fastcfd -support 10
 //	cfddiscover -demo -algorithm ctane -support 2
+//	cfddiscover -input data.csv -limit 25 -progress   # first 25 rules only
+//	cfddiscover -input data.csv -json -o rules.json   # rules.Set JSON
 //
 // The input CSV must have a header row naming the attributes. With -demo the
 // built-in cust relation of Fig. 1 of the paper is used instead of a file.
+// With -limit the engine stops as soon as that many rules have been streamed,
+// cancelling the remaining mining work — the cheap way to peek at a data set.
+//
+// Output is the rule-file text format by default (consumed by cfdclean -rules
+// and cfdserve -rules), the pattern-tableau grouping with -tableau, or the
+// rules.Set JSON document with -json (the same shape cfdserve's GET /rules
+// serves; also accepted by both -rules flags).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,7 +44,10 @@ func main() {
 		varOnly   = flag.Bool("variable-only", false, "report variable CFDs only")
 		workers   = flag.Int("workers", 0, "worker goroutines for the discovery run (0 = one per CPU, 1 = sequential)")
 		timeout   = flag.Duration("timeout", 0, "abort the discovery run after this duration (0 = no limit)")
+		limit     = flag.Int("limit", 0, "stop after this many rules, cancelling the remaining mining work (0 = full cover)")
+		progress  = flag.Bool("progress", false, "report streamed rule counts on stderr while mining")
 		tableau   = flag.Bool("tableau", false, "group the discovered CFDs into pattern tableaux per embedded FD")
+		jsonOut   = flag.Bool("json", false, "write the rule set as rules.Set JSON instead of the text rule file")
 		output    = flag.String("o", "", "write the discovered CFDs to this file instead of stdout")
 	)
 	flag.Parse()
@@ -49,34 +63,54 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, err := discovery.DiscoverContext(ctx, discovery.Algorithm(*algorithm), rel, discovery.Options{
-		Support:      *support,
-		MaxLHS:       *maxLHS,
-		VariableOnly: *varOnly,
-		Workers:      *workers,
-	})
+
+	engOpts := []discovery.Option{
+		discovery.WithSupport(*support),
+		discovery.WithMaxLHS(*maxLHS),
+		discovery.WithWorkers(*workers),
+		discovery.WithVariableOnly(*varOnly),
+		discovery.WithLimit(*limit),
+	}
+	if *progress {
+		engOpts = append(engOpts, discovery.WithProgress(func(found int) {
+			fmt.Fprintf(os.Stderr, "\rcfddiscover: %d rules streamed", found)
+		}))
+	}
+	eng := discovery.NewEngine(discovery.Algorithm(*algorithm), rel, engOpts...)
+	set, err := eng.Run(ctx)
+	if *progress {
+		fmt.Fprintln(os.Stderr)
+	}
 	if err != nil {
 		fatal(err)
 	}
 
 	var body strings.Builder
-	if *tableau {
-		fmt.Fprintf(&body, "# %s on %d tuples x %d attributes, k=%d: %d CFDs (%d constant, %d variable) in %s\n",
-			res.Algorithm, rel.Size(), rel.Arity(), res.Support, len(res.CFDs), res.Constant, res.Variable, res.Elapsed.Round(1e6))
-		for _, t := range cfd.BuildTableaux(res.CFDs) {
+	switch {
+	case *jsonOut:
+		data, err := json.MarshalIndent(set, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		body.Write(data)
+		body.WriteByte('\n')
+	case *tableau:
+		body.WriteString(set.Header())
+		body.WriteByte('\n')
+		for _, t := range set.Tableaux() {
 			body.WriteString(t.String())
 			body.WriteByte('\n')
 		}
-	} else {
+	default:
 		// The rule-file format shared with cfdclean -rules and cfdserve -rules.
-		body.WriteString(res.RulesText())
+		body.WriteString(set.Text())
 	}
 
 	if *output != "" {
 		if err := os.WriteFile(*output, []byte(body.String()), 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %d CFDs to %s\n", len(res.CFDs), *output)
+		fmt.Printf("wrote %d CFDs to %s\n", set.Len(), *output)
 		return
 	}
 	fmt.Print(body.String())

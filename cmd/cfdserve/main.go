@@ -1,10 +1,11 @@
 // Command cfdserve serves CFD violation detection over HTTP: the serving side
 // of the paper's workflow, where discovered rules become live data-quality
-// checks. Rules come from a rule file (as written by cfddiscover -o) or are
-// discovered on a trusted sample at startup; tuples are then bulk loaded from
-// a CSV and kept current through the API, with the repro/violation engine
-// maintaining per-rule indexes so every mutation costs O(rules), not a
-// rescan.
+// checks. The rule set comes from a rule file — either the text format of
+// cfddiscover -o or the rules.Set JSON served by GET /rules, sniffed
+// automatically — or is discovered on a trusted sample at startup; tuples are
+// then bulk loaded from a CSV and kept current through the API, with the
+// repro/violation engine maintaining per-rule indexes so every mutation costs
+// O(rules), not a rescan.
 //
 // Usage:
 //
@@ -14,7 +15,8 @@
 // API:
 //
 //	GET    /health                  engine size, rule count, dirty estimate
-//	GET    /rules                   the served rule set
+//	GET    /rules                   the served rule set as rules.Set JSON
+//	                                (rules, tableaux, provenance, schema)
 //	GET    /violations              full snapshot: per-rule tuples + dirty set
 //	GET    /suspects                tuples most likely erroneous (repair view)
 //	POST   /tuples                  insert {"values":[...]} or {"rows":[[...]]}
@@ -42,6 +44,7 @@ import (
 	"repro/cfd"
 	"repro/dataset"
 	"repro/discovery"
+	"repro/rules"
 )
 
 // config carries the parsed command line.
@@ -60,7 +63,7 @@ type config struct {
 func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
-		rules   = flag.String("rules", "", "rule file with one CFD per line (as written by cfddiscover -o)")
+		rules   = flag.String("rules", "", "rule file: cfddiscover -o text or rules.Set JSON (as served by GET /rules)")
 		data    = flag.String("data", "", "CSV file to bulk load at startup (header row required)")
 		schema  = flag.String("schema", "", "comma-separated attribute names (needed only without -data/-sample)")
 		workers = flag.Int("workers", 0, "worker goroutines for the bulk load (0 = one per CPU)")
@@ -112,26 +115,18 @@ func main() {
 	}
 }
 
-func readFileTrimmed(path string) (string, error) {
-	text, err := os.ReadFile(path)
-	if err != nil {
-		return "", err
-	}
-	return strings.TrimSpace(string(text)), nil
-}
-
 func loadCSV(path string) (*cfd.Relation, error) {
 	return dataset.LoadCSVFile(path)
 }
 
-func discoverRules(sample *cfd.Relation, cfg config) ([]cfd.CFD, error) {
-	res, err := discovery.FastCFD(sample, discovery.Options{
-		Support: cfg.support, MaxLHS: cfg.maxLHS, Workers: cfg.workers,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return res.CFDs, nil
+// discoverRules mines the serving rule set on the trusted sample; the
+// resulting set carries the discovery provenance, which GET /rules exposes.
+func discoverRules(sample *cfd.Relation, cfg config) (*rules.Set, error) {
+	eng := discovery.NewEngine(discovery.AlgFastCFD, sample,
+		discovery.WithSupport(cfg.support),
+		discovery.WithMaxLHS(cfg.maxLHS),
+		discovery.WithWorkers(cfg.workers))
+	return eng.Run(context.Background())
 }
 
 func fatal(err error) {

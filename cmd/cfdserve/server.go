@@ -10,6 +10,7 @@ import (
 
 	"repro/cfd"
 	"repro/cleaning"
+	"repro/rules"
 	"repro/violation"
 )
 
@@ -70,15 +71,18 @@ func (s *server) health(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// rules serves the engine's rule set as rules.Set JSON — the rules in set
+// order plus class counts, pattern tableaux and (when the set came from
+// discovery) its provenance — alongside the serving schema. The document
+// round-trips through rules.Parse, so a client can feed it straight back to
+// cfdserve -rules or cfdclean -rules.
 func (s *server) rules(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	rules := s.eng.Rules()
-	out := make([]string, len(rules))
-	for i, rule := range rules {
-		out[i] = rule.String()
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"attributes": s.eng.Attributes(), "rules": out})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"attributes": s.eng.Attributes(),
+		"ruleset":    s.eng.RuleSet(),
+	})
 }
 
 type violationJSON struct {
@@ -107,13 +111,13 @@ func (s *server) suspects(w http.ResponseWriter, _ *http.Request) {
 	// for that long would stall every writer behind a polling client.
 	s.mu.RLock()
 	rel, ids, err := s.eng.Relation()
-	rules := s.eng.Rules()
+	set := s.eng.RuleSet()
 	s.mu.RUnlock()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	suspects, err := cleaning.Suspects(rel, rules)
+	suspects, err := cleaning.Suspects(rel, set)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -249,10 +253,11 @@ func (s *server) remove(w http.ResponseWriter, r *http.Request) {
 }
 
 // loadEngine builds the serving engine from the command-line configuration:
-// rules from a rule file or discovered on a trusted sample, the schema from
-// -data, -schema or the sample, and an optional initial bulk load of -data.
+// a rule set from a rule file (text or JSON, sniffed by rules.Load) or
+// discovered on a trusted sample, the schema from -data, -schema or the
+// sample, and an optional initial bulk load of -data.
 func loadEngine(cfg config) (*violation.Engine, error) {
-	var rules []cfd.CFD
+	var set *rules.Set
 	var sampleRel *cfd.Relation
 	if cfg.samplePath != "" {
 		var err error
@@ -263,20 +268,17 @@ func loadEngine(cfg config) (*violation.Engine, error) {
 	}
 	switch {
 	case cfg.rulesPath != "":
-		text, err := readFileTrimmed(cfg.rulesPath)
-		if err != nil {
-			return nil, err
-		}
-		rules, err = cfd.ParseAll(text)
+		var err error
+		set, err = rules.Load(cfg.rulesPath)
 		if err != nil {
 			return nil, err
 		}
 	case sampleRel != nil:
-		res, err := discoverRules(sampleRel, cfg)
+		var err error
+		set, err = discoverRules(sampleRel, cfg)
 		if err != nil {
 			return nil, err
 		}
-		rules = res
 	default:
 		return nil, fmt.Errorf("either -rules or -sample is required")
 	}
@@ -299,7 +301,7 @@ func loadEngine(cfg config) (*violation.Engine, error) {
 	default:
 		return nil, fmt.Errorf("the schema is unknown: pass -data, -sample or -schema")
 	}
-	eng, err := violation.New(attrs, rules, violation.Options{Workers: cfg.workers})
+	eng, err := violation.New(attrs, set, violation.Options{Workers: cfg.workers})
 	if err != nil {
 		return nil, err
 	}

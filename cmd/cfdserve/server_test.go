@@ -6,8 +6,12 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
+
+	"repro/rules"
 )
 
 // newTestServer builds the server exactly as main does, from the testdata
@@ -78,10 +82,33 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatal("fixture data must be dirty")
 	}
 
-	// Rules echo back in file order.
-	rules := do(t, "GET", ts.URL+"/rules", nil, http.StatusOK)
-	if got := rules["rules"].([]any); len(got) != 2 || got[0] != "([AC] -> CT, (131 || EDI))" {
+	// Rules are served as rules.Set JSON: file order preserved, class counts
+	// and pattern tableaux included, plus the serving schema.
+	rulesResp := do(t, "GET", ts.URL+"/rules", nil, http.StatusOK)
+	if got := rulesResp["attributes"].([]any); len(got) != 7 || got[0] != "CC" {
+		t.Fatalf("attributes = %v", got)
+	}
+	ruleset := rulesResp["ruleset"].(map[string]any)
+	if got := ruleset["rules"].([]any); len(got) != 2 || got[0] != "([AC] -> CT, (131 || EDI))" {
 		t.Fatalf("rules = %v", got)
+	}
+	if ruleset["constant"].(float64) != 1 || ruleset["variable"].(float64) != 1 {
+		t.Fatalf("class counts = %v", ruleset)
+	}
+	if got := ruleset["tableaux"].([]any); len(got) != 2 {
+		t.Fatalf("tableaux = %v", got)
+	}
+	// The served document round-trips back into a rule set.
+	raw, err := json.Marshal(ruleset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := rules.Parse(string(raw))
+	if err != nil {
+		t.Fatalf("GET /rules output does not parse back: %v", err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("round-tripped rule set has %d rules", back.Len())
 	}
 
 	// Violations: the constant rule flags the AC=131 group {4,5,7}; the FD
@@ -176,6 +203,44 @@ func TestServeSampleDiscovery(t *testing.T) {
 	}
 	if eng.Size() != 8 {
 		t.Fatalf("loaded %d tuples, want 8", eng.Size())
+	}
+}
+
+// TestLoadEngineJSONRules checks the -rules format sniffing: the engine loads
+// a rules.Set JSON document (as served by GET /rules) interchangeably with
+// the text rule file.
+func TestLoadEngineJSONRules(t *testing.T) {
+	fromText, err := rules.Load("testdata/rules.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(fromText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(t.TempDir(), "rules.json")
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := loadEngine(config{rulesPath: jsonPath, dataPath: "testdata/cust.csv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eng.Rules()) != 2 || eng.Size() != 8 {
+		t.Fatalf("JSON rules: %d rules, %d tuples", len(eng.Rules()), eng.Size())
+	}
+}
+
+// TestSampleDiscoveryProvenance checks that a sample-discovered rule set
+// carries its discovery provenance through to the serving engine.
+func TestSampleDiscoveryProvenance(t *testing.T) {
+	eng, err := loadEngine(config{samplePath: "testdata/cust.csv", support: 2, maxLHS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := eng.RuleSet().Provenance()
+	if prov.Algorithm != "fastcfd" || prov.Support != 2 || prov.Tuples != 8 {
+		t.Fatalf("provenance = %+v", prov)
 	}
 }
 

@@ -1,29 +1,12 @@
-// Package discovery exposes the CFD discovery algorithms of the paper behind a
-// single facade: CFDMiner for constant CFDs (§3), CTANE (§4) and FastCFD /
-// NaiveFast (§5) for general CFDs, plus the classical FD baselines TANE and
-// FastFD they extend, and a brute-force oracle for testing.
-//
-// All functions take a *cfd.Relation and return a *Result whose CFDs use the
-// public string representation.
 package discovery
 
 import (
 	"context"
-	"fmt"
 	"io"
-	"os"
-	"strings"
 	"time"
 
 	"repro/cfd"
-	"repro/internal/bruteforce"
-	"repro/internal/cfdminer"
-	"repro/internal/core"
-	"repro/internal/ctane"
-	"repro/internal/diffset"
-	"repro/internal/fastcfd"
-	"repro/internal/fastfd"
-	"repro/internal/tane"
+	"repro/rules"
 )
 
 // Algorithm names a discovery algorithm.
@@ -45,7 +28,9 @@ func Algorithms() []Algorithm {
 	return []Algorithm{AlgCFDMiner, AlgCTANE, AlgFastCFD, AlgNaiveFast, AlgTANE, AlgFastFD, AlgBrute}
 }
 
-// Options configures a discovery run.
+// Options configures a batch discovery run. It is the struct-shaped
+// counterpart of the Engine's functional options, kept for the Discover /
+// DiscoverContext facade; EngineOptions converts it.
 type Options struct {
 	// Support is the threshold k: only k-frequent CFDs are reported. Values
 	// below 1 are treated as 1. Ignored by the FD baselines.
@@ -65,24 +50,24 @@ type Options struct {
 	// all parallelise under this setting; the discovered cover is identical
 	// for every worker count.
 	Workers int
-	// Parallel is a retired flag from the era when parallelism was opt-in and
-	// FastCFD-only. It is now ignored entirely: parallelism is the default
-	// (Workers: 0 = one worker per CPU), so callers that previously relied on
-	// Parallel: false meaning sequential must set Workers: 1 instead. The
-	// field is kept only so existing struct literals continue to compile.
-	//
-	// Deprecated: use Workers.
-	Parallel bool
 }
 
-func (o Options) support() int {
-	if o.Support < 1 {
-		return 1
+// EngineOptions converts the struct form into the Engine's functional
+// options, for callers migrating to NewEngine:
+//
+//	eng := discovery.NewEngine(alg, rel, opts.EngineOptions()...)
+func (o Options) EngineOptions() []Option {
+	out := []Option{WithSupport(o.Support), WithMaxLHS(o.MaxLHS), WithWorkers(o.Workers)}
+	if o.VariableOnly {
+		out = append(out, WithVariableOnly(true))
 	}
-	return o.Support
+	if o.DisableItemsetOptimisation {
+		out = append(out, WithoutItemsetOptimisation())
+	}
+	return out
 }
 
-// Result is the outcome of one discovery run.
+// Result is the outcome of one batch discovery run.
 type Result struct {
 	Algorithm Algorithm
 	Support   int
@@ -99,31 +84,45 @@ type Result struct {
 	Elapsed time.Duration
 }
 
-// RulesText renders the result as a rule file: a '#' summary comment followed
-// by one CFD per line in the paper's notation, sorted deterministically. The
-// output round-trips through cfd.ParseAll and is the format consumed by
-// cfdclean -rules and cfdserve -rules.
-func (r *Result) RulesText() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "# %s on %d tuples x %d attributes, k=%d: %d CFDs (%d constant, %d variable) in %s\n",
-		r.Algorithm, r.Tuples, r.Attributes, r.Support, len(r.CFDs), r.Constant, r.Variable, r.Elapsed.Round(time.Millisecond))
-	sorted := append([]cfd.CFD(nil), r.CFDs...)
-	cfd.SortCFDs(sorted)
-	b.WriteString(cfd.FormatAll(sorted))
-	return b.String()
+// resultOf converts a collected rule set into the legacy Result shape.
+func resultOf(set *rules.Set) *Result {
+	prov := set.Provenance()
+	return &Result{
+		Algorithm:  Algorithm(prov.Algorithm),
+		Support:    prov.Support,
+		CFDs:       set.CFDs(),
+		Constant:   set.Constant(),
+		Variable:   set.Variable(),
+		Tuples:     prov.Tuples,
+		Attributes: prov.Attributes,
+		Elapsed:    prov.Elapsed,
+	}
 }
 
-// WriteRules writes RulesText to w.
-func (r *Result) WriteRules(w io.Writer) error {
-	_, err := io.WriteString(w, r.RulesText())
-	return err
+// Set re-wraps the result as the *rules.Set the rest of the system consumes
+// (repro/violation, repro/cleaning, cmd/cfdserve).
+func (r *Result) Set() *rules.Set {
+	return rules.New(r.CFDs, rules.Provenance{
+		Algorithm:  string(r.Algorithm),
+		Support:    r.Support,
+		Tuples:     r.Tuples,
+		Attributes: r.Attributes,
+		Elapsed:    r.Elapsed,
+	})
 }
+
+// RulesText renders the result as a rule file: a '#' summary comment followed
+// by one CFD per line in the paper's notation, sorted deterministically. The
+// output round-trips through rules.Parse / cfd.ParseAll and is the format
+// consumed by cfdclean -rules and cfdserve -rules.
+func (r *Result) RulesText() string { return r.Set().Text() }
+
+// WriteRules writes RulesText to w.
+func (r *Result) WriteRules(w io.Writer) error { return r.Set().Write(w) }
 
 // SaveRules writes the rule file to path, for handing a discovery run to the
 // detection tools.
-func (r *Result) SaveRules(path string) error {
-	return os.WriteFile(path, []byte(r.RulesText()), 0o644)
-}
+func (r *Result) SaveRules(path string) error { return r.Set().Save(path) }
 
 // Discover runs the named algorithm on the relation.
 func Discover(alg Algorithm, r *cfd.Relation, opts Options) (*Result, error) {
@@ -135,63 +134,15 @@ func Discover(alg Algorithm, r *cfd.Relation, opts Options) (*Result, error) {
 // the levelwise algorithms observe it between the work units of a lattice
 // level, the depth-first ones between per-attribute searches. A cancelled run
 // returns ctx.Err() (possibly wrapped by the deadline machinery).
+//
+// DiscoverContext is a thin wrapper over NewEngine(...).Run: it collects the
+// stream into the full cover and reshapes the rule set as a *Result.
 func DiscoverContext(ctx context.Context, alg Algorithm, r *cfd.Relation, opts Options) (*Result, error) {
-	start := time.Now()
-	var encoded []core.CFD
-	var err error
-	switch alg {
-	case AlgCFDMiner:
-		encoded, err = cfdminer.MineContext(ctx, r.Encoded(), cfdminer.Options{
-			K:       opts.support(),
-			Workers: opts.Workers,
-		})
-	case AlgCTANE:
-		encoded, err = ctane.MineContext(ctx, r.Encoded(), ctane.Options{
-			K:       opts.support(),
-			MaxLHS:  opts.MaxLHS,
-			Workers: opts.Workers,
-		})
-	case AlgFastCFD:
-		encoded, err = fastcfd.MineContext(ctx, r.Encoded(), fastcfd.Options{
-			K:            opts.support(),
-			MaxLHS:       opts.MaxLHS,
-			VariableOnly: opts.VariableOnly,
-			UseCFDMiner:  !opts.DisableItemsetOptimisation,
-			Workers:      opts.Workers,
-		})
-	case AlgNaiveFast:
-		encoded, err = fastcfd.MineContext(ctx, r.Encoded(), fastcfd.Options{
-			K:            opts.support(),
-			MaxLHS:       opts.MaxLHS,
-			VariableOnly: opts.VariableOnly,
-			Computer:     diffset.NewNaive(r.Encoded()),
-			UseCFDMiner:  false,
-			Workers:      opts.Workers,
-		})
-	case AlgTANE:
-		encoded, err = tane.MineContext(ctx, r.Encoded())
-	case AlgFastFD:
-		encoded, err = fastfd.MineContext(ctx, r.Encoded(), nil)
-	case AlgBrute:
-		encoded, err = bruteforce.MineContext(ctx, r.Encoded(), opts.support())
-	default:
-		return nil, fmt.Errorf("discovery: unknown algorithm %q", alg)
-	}
+	set, err := NewEngine(alg, r, opts.EngineOptions()...).Run(ctx)
 	if err != nil {
 		return nil, err
 	}
-	elapsed := time.Since(start)
-
-	res := &Result{
-		Algorithm:  alg,
-		Support:    opts.support(),
-		CFDs:       cfd.DecodeAll(r, encoded),
-		Tuples:     r.Size(),
-		Attributes: r.Arity(),
-		Elapsed:    elapsed,
-	}
-	res.Constant, res.Variable = cfd.CountClasses(res.CFDs)
-	return res, nil
+	return resultOf(set), nil
 }
 
 // CFDMiner discovers the k-frequent minimal constant CFDs of r (§3).

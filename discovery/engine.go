@@ -1,0 +1,276 @@
+package discovery
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"time"
+
+	"repro/cfd"
+	"repro/internal/bruteforce"
+	"repro/internal/cfdminer"
+	"repro/internal/core"
+	"repro/internal/ctane"
+	"repro/internal/diffset"
+	"repro/internal/fastcfd"
+	"repro/internal/fastfd"
+	"repro/internal/tane"
+	"repro/rules"
+)
+
+// Engine binds one discovery algorithm to one relation and exposes the run
+// both as a stream (Stream, rules arriving as the miners find them) and as a
+// collected rule set (Run). Configure it with functional options:
+//
+//	eng := discovery.NewEngine(discovery.AlgCTANE, rel,
+//	    discovery.WithSupport(10),
+//	    discovery.WithWorkers(8),
+//	    discovery.WithLimit(25))
+//	for rule, err := range eng.Stream(ctx) { ... }
+//
+// An Engine is immutable after construction and may be reused for several
+// runs.
+type Engine struct {
+	alg Algorithm
+	rel *cfd.Relation
+	cfg engineConfig
+}
+
+type engineConfig struct {
+	support      int
+	maxLHS       int
+	workers      int
+	limit        int
+	progress     func(found int)
+	variableOnly bool
+	noItemsetOpt bool
+}
+
+func (c engineConfig) supportOrOne() int {
+	if c.support < 1 {
+		return 1
+	}
+	return c.support
+}
+
+// Option configures an Engine.
+type Option func(*engineConfig)
+
+// WithSupport sets the support threshold k: only k-frequent CFDs are
+// reported. Values below 1 are treated as 1. Ignored by the FD baselines.
+func WithSupport(k int) Option { return func(c *engineConfig) { c.support = k } }
+
+// WithMaxLHS bounds the number of attributes on the left-hand side of
+// reported CFDs (CTANE, FastCFD and NaiveFast). Zero means unbounded.
+func WithMaxLHS(n int) Option { return func(c *engineConfig) { c.maxLHS = n } }
+
+// WithWorkers bounds the number of goroutines a run may use: 0 runs one
+// worker per available CPU (the default), 1 runs sequentially. The discovered
+// cover — and the emitted stream — is identical for every worker count.
+func WithWorkers(n int) Option { return func(c *engineConfig) { c.workers = n } }
+
+// WithLimit stops the stream after the first n rules: remaining mining work
+// is cancelled instead of running to the full cover, which is what makes
+// top-k and interactive workloads cheap. Zero means unlimited. Run honours
+// the limit too.
+func WithLimit(n int) Option { return func(c *engineConfig) { c.limit = n } }
+
+// WithProgress registers a callback invoked after every streamed rule with
+// the cumulative number of rules seen so far. It runs on the consumer's
+// goroutine, between yields; keep it cheap.
+func WithProgress(fn func(found int)) Option { return func(c *engineConfig) { c.progress = fn } }
+
+// WithVariableOnly suppresses constant CFDs (FastCFD/NaiveFast only); the
+// paper uses this split when reporting CFD counts.
+func WithVariableOnly(v bool) Option { return func(c *engineConfig) { c.variableOnly = v } }
+
+// WithoutItemsetOptimisation turns off FastCFD's §5.5 optimisation of taking
+// constant CFDs from CFDMiner, producing them inside FindMin instead.
+func WithoutItemsetOptimisation() Option { return func(c *engineConfig) { c.noItemsetOpt = true } }
+
+// NewEngine builds an engine running alg over rel under the given options.
+func NewEngine(alg Algorithm, rel *cfd.Relation, opts ...Option) *Engine {
+	e := &Engine{alg: alg, rel: rel}
+	for _, opt := range opts {
+		opt(&e.cfg)
+	}
+	return e
+}
+
+// mine dispatches to the algorithm implementations. With a nil emit it
+// returns the full cover, like the batch facade always has; with a non-nil
+// emit the streaming-capable miners hand rules out as they find them (CTANE
+// per lattice level, CFDMiner per free item set, FastCFD/NaiveFast per
+// right-hand-side attribute) and return a nil slice, while the FD baselines
+// and the brute-force oracle mine fully and then emit their (already sorted)
+// cover.
+func (e *Engine) mine(ctx context.Context, emit func(core.CFD)) ([]core.CFD, error) {
+	r := e.rel
+	k := e.cfg.supportOrOne()
+	switch e.alg {
+	case AlgCFDMiner:
+		return cfdminer.MineContext(ctx, r.Encoded(), cfdminer.Options{
+			K:       k,
+			Workers: e.cfg.workers,
+			Emit:    emit,
+		})
+	case AlgCTANE:
+		return ctane.MineContext(ctx, r.Encoded(), ctane.Options{
+			K:       k,
+			MaxLHS:  e.cfg.maxLHS,
+			Workers: e.cfg.workers,
+			Emit:    emit,
+		})
+	case AlgFastCFD:
+		return fastcfd.MineContext(ctx, r.Encoded(), fastcfd.Options{
+			K:            k,
+			MaxLHS:       e.cfg.maxLHS,
+			VariableOnly: e.cfg.variableOnly,
+			UseCFDMiner:  !e.cfg.noItemsetOpt,
+			Workers:      e.cfg.workers,
+			Emit:         emit,
+		})
+	case AlgNaiveFast:
+		return fastcfd.MineContext(ctx, r.Encoded(), fastcfd.Options{
+			K:            k,
+			MaxLHS:       e.cfg.maxLHS,
+			VariableOnly: e.cfg.variableOnly,
+			Computer:     diffset.NewNaive(r.Encoded()),
+			UseCFDMiner:  false,
+			Workers:      e.cfg.workers,
+			Emit:         emit,
+		})
+	case AlgTANE:
+		return emitAll(tane.MineContext(ctx, r.Encoded()))(emit)
+	case AlgFastFD:
+		return emitAll(fastfd.MineContext(ctx, r.Encoded(), nil))(emit)
+	case AlgBrute:
+		return emitAll(bruteforce.MineContext(ctx, r.Encoded(), k))(emit)
+	default:
+		return nil, fmt.Errorf("discovery: unknown algorithm %q", e.alg)
+	}
+}
+
+// emitAll adapts a batch-only miner to the emit contract of mine.
+func emitAll(out []core.CFD, err error) func(func(core.CFD)) ([]core.CFD, error) {
+	return func(emit func(core.CFD)) ([]core.CFD, error) {
+		if err != nil || emit == nil {
+			return out, err
+		}
+		for _, c := range out {
+			emit(c)
+		}
+		return nil, nil
+	}
+}
+
+// Stream runs the algorithm and yields rules as the miners find them: CTANE
+// emits each lattice level as it is validated, CFDMiner each free item set's
+// rules, FastCFD and NaiveFast the constant cover followed by each
+// right-hand-side attribute's variable CFDs. The FD baselines and the
+// brute-force oracle have no incremental structure and emit their cover only
+// once complete.
+//
+// Breaking out of the loop — or reaching the WithLimit bound — cancels the
+// remaining mining work; Stream returns only after the miner goroutine has
+// shut down, so an abandoned stream leaks nothing. A mining failure (context
+// cancellation included) is yielded as the final element's error. The yielded
+// sequence is deterministic: identical for every worker count.
+//
+// Collecting an unlimited stream yields exactly the cover of Run and of the
+// batch Discover facade (up to order, which the stream derives from the
+// miners' traversal rather than the canonical sort).
+func (e *Engine) Stream(ctx context.Context) iter.Seq2[cfd.CFD, error] {
+	return func(yield func(cfd.CFD, error) bool) {
+		mctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		ch := make(chan core.CFD)
+		errc := make(chan error, 1)
+		go func() {
+			_, err := e.mine(mctx, func(c core.CFD) {
+				select {
+				case ch <- c:
+				case <-mctx.Done():
+				}
+			})
+			close(ch)
+			errc <- err
+		}()
+		// stop cancels the miner and waits for it to wind down; emit's select
+		// keeps it from ever blocking on an abandoned channel.
+		stop := func() {
+			cancel()
+			<-errc
+		}
+		found := 0
+		for c := range ch {
+			if !yield(cfd.Decode(e.rel, c), nil) {
+				stop()
+				return
+			}
+			found++
+			if e.cfg.progress != nil {
+				e.cfg.progress(found)
+			}
+			if e.cfg.limit > 0 && found >= e.cfg.limit {
+				stop()
+				return
+			}
+		}
+		if err := <-errc; err != nil {
+			yield(cfd.CFD{}, err)
+		}
+	}
+}
+
+// Run collects the run into a rules.Set carrying the run's provenance. An
+// unlimited Run produces exactly the cover of the legacy Discover facade
+// (deduplicated, canonically sorted); with WithLimit it stops early like the
+// stream does.
+//
+// A run with neither limit nor progress callback takes the miners' batch
+// path directly — no per-rule channel handoff — so the legacy facade keeps
+// its original cost; otherwise Run drains Stream.
+func (e *Engine) Run(ctx context.Context) (*rules.Set, error) {
+	start := time.Now()
+	var collected []cfd.CFD
+	if e.cfg.limit == 0 && e.cfg.progress == nil {
+		encoded, err := e.mine(ctx, nil)
+		if err != nil {
+			return nil, err
+		}
+		collected = cfd.DecodeAll(e.rel, encoded)
+	} else {
+		for c, err := range e.Stream(ctx) {
+			if err != nil {
+				return nil, err
+			}
+			collected = append(collected, c)
+		}
+	}
+	collected = sortAndDedup(collected)
+	return rules.New(collected, rules.Provenance{
+		Algorithm:  string(e.alg),
+		Support:    e.cfg.supportOrOne(),
+		Tuples:     e.rel.Size(),
+		Attributes: e.rel.Arity(),
+		Elapsed:    time.Since(start),
+	}), nil
+}
+
+// sortAndDedup canonically orders the collected rules and drops duplicates
+// (the streaming miners never emit any; this keeps Run's contract independent
+// of that invariant).
+func sortAndDedup(cfds []cfd.CFD) []cfd.CFD {
+	cfd.SortCFDs(cfds)
+	out := cfds[:0]
+	prev := ""
+	for i, c := range cfds {
+		key := c.Normalize().String()
+		if i == 0 || key != prev {
+			out = append(out, c)
+			prev = key
+		}
+	}
+	return out
+}

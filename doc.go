@@ -5,8 +5,12 @@
 //
 //   - repro/cfd       — the public data model: relations, CFDs, pattern
 //     tableaux, satisfaction/violation/support/minimality.
-//   - repro/discovery — the discovery algorithms: CFDMiner, CTANE, FastCFD,
-//     NaiveFast, plus the TANE and FastFD baselines.
+//   - repro/rules     — the first-class rule set (rules.Set): rules with
+//     provenance, lazy tableaux/class counts, text and JSON codecs; the
+//     currency between discovery and every consumer.
+//   - repro/discovery — the streaming discovery engine (Engine.Stream /
+//     Engine.Run) over CFDMiner, CTANE, FastCFD, NaiveFast, plus the TANE
+//     and FastFD baselines.
 //   - repro/dataset   — CSV IO, the synthetic Tax generator (ARITY/DBSIZE/CF)
 //     and shape-preserving stand-ins for the UCI data sets.
 //   - repro/violation — the incremental violation-detection engine: per-rule

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,14 +25,18 @@ func main() {
 	}
 	fmt.Printf("trusted sample: %d tuples over %v\n", clean.Size(), clean.Attributes())
 
-	// 2. Discover data-quality rules on the sample. A moderate support keeps the
-	// rules robust against noise, as §2.2.2 of the paper argues.
-	rules, err := discovery.FastCFD(clean, discovery.Options{Support: 40, MaxLHS: 2})
+	// 2. Discover data-quality rules on the sample through the streaming
+	// engine; Run collects the stream into a rules.Set whose provenance
+	// records the run. A moderate support keeps the rules robust against
+	// noise, as §2.2.2 of the paper argues.
+	eng := discovery.NewEngine(discovery.AlgFastCFD, clean,
+		discovery.WithSupport(40), discovery.WithMaxLHS(2))
+	ruleSet, err := eng.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("discovered %d rules (%d constant, %d variable) in %s\n\n",
-		len(rules.CFDs), rules.Constant, rules.Variable, rules.Elapsed.Round(1e6))
+		ruleSet.Len(), ruleSet.Constant(), ruleSet.Variable(), ruleSet.Provenance().Elapsed.Round(1e6))
 
 	// 3. Corrupt a copy of the data: 3% of the tuples get one wrong value.
 	dirty, injected := dataset.InjectNoise(clean, 0.03, 99)
@@ -40,11 +45,11 @@ func main() {
 	// 4. Detect violations of the discovered rules on the dirty data. The
 	// suspects list narrows the violating tuples down to the likely culprits
 	// (minority values within their group), which is what a reviewer wants.
-	report, err := cleaning.Detect(dirty, rules.CFDs)
+	report, err := cleaning.Detect(dirty, ruleSet)
 	if err != nil {
 		log.Fatal(err)
 	}
-	suspects, err := cleaning.Suspects(dirty, rules.CFDs)
+	suspects, err := cleaning.Suspects(dirty, ruleSet)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,12 +88,12 @@ func main() {
 	}
 
 	// 6. Suggest and apply repairs, then re-check.
-	repairs, err := cleaning.SuggestRepairs(dirty, rules.CFDs)
+	repairs, err := cleaning.SuggestRepairs(dirty, ruleSet)
 	if err != nil {
 		log.Fatal(err)
 	}
 	repaired := cleaning.ApplyRepairs(dirty, repairs)
-	after, err := cleaning.Detect(repaired, rules.CFDs)
+	after, err := cleaning.Detect(repaired, ruleSet)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,6 +16,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -24,6 +25,7 @@ import (
 
 	"repro/cfd"
 	"repro/discovery"
+	"repro/rules"
 )
 
 // Config controls the scale of the experiment sweeps.
@@ -169,16 +171,18 @@ func (f *Figure) Table() string {
 	return b.String()
 }
 
-// timeAlg runs one algorithm under the configuration's worker budget and
-// returns its response time in seconds together with the result.
-func timeAlg(cfg Config, alg discovery.Algorithm, rel *cfd.Relation, opts discovery.Options) (float64, *discovery.Result, error) {
+// timeAlg runs one algorithm through the streaming engine under the
+// configuration's worker budget and returns its response time in seconds
+// together with the collected rule set.
+func timeAlg(cfg Config, alg discovery.Algorithm, rel *cfd.Relation, opts discovery.Options) (float64, *rules.Set, error) {
 	opts.Workers = cfg.Workers
+	eng := discovery.NewEngine(alg, rel, opts.EngineOptions()...)
 	start := time.Now()
-	res, err := discovery.Discover(alg, rel, opts)
+	set, err := eng.Run(context.Background())
 	if err != nil {
 		return 0, nil, err
 	}
-	return time.Since(start).Seconds(), res, nil
+	return time.Since(start).Seconds(), set, nil
 }
 
 // supportFromRatio converts the paper's SUP% into an absolute threshold. The

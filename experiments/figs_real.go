@@ -130,9 +130,9 @@ func realCountFigure(id string, ds realDataset, cfg Config) (*Figure, error) {
 		fig.Points = append(fig.Points, Point{
 			X: fmt.Sprintf("%d", k),
 			Series: map[string]float64{
-				SeriesConstant: float64(res.Constant),
-				SeriesVariable: float64(res.Variable),
-				"total":        float64(len(res.CFDs)),
+				SeriesConstant: float64(res.Constant()),
+				SeriesVariable: float64(res.Variable()),
+				"total":        float64(res.Len()),
 			},
 		})
 	}

@@ -120,8 +120,8 @@ func Fig06(cfg Config) (*Figure, error) {
 		fig.Points = append(fig.Points, Point{
 			X: fmt.Sprintf("%d", size),
 			Series: map[string]float64{
-				SeriesConstant: float64(res.Constant),
-				SeriesVariable: float64(res.Variable),
+				SeriesConstant: float64(res.Constant()),
+				SeriesVariable: float64(res.Variable()),
 			},
 		})
 	}
@@ -252,8 +252,8 @@ func Fig09(cfg Config) (*Figure, error) {
 		fig.Points = append(fig.Points, Point{
 			X: fmt.Sprintf("%d", k),
 			Series: map[string]float64{
-				SeriesConstant: float64(res.Constant),
-				SeriesVariable: float64(res.Variable),
+				SeriesConstant: float64(res.Constant()),
+				SeriesVariable: float64(res.Variable()),
 			},
 		})
 	}
@@ -344,7 +344,7 @@ func Ablation(cfg Config) (*Figure, error) {
 			X: v.name,
 			Series: map[string]float64{
 				"seconds": sec,
-				"#CFDs":   float64(len(res.CFDs)),
+				"#CFDs":   float64(res.Len()),
 			},
 		})
 	}

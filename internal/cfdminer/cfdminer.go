@@ -27,6 +27,13 @@ type Options struct {
 	// per CPU, 1 runs sequentially. The discovered cover is identical for
 	// every worker count.
 	Workers int
+	// Emit, when non-nil, switches MineContext into streaming mode: each free
+	// item set's rules are handed to Emit (in canonical order within the free
+	// set, free sets in the miner's ascending-size order) as they are derived,
+	// and the final return value is nil. Cancelling the context stops the
+	// remaining free sets. The emitted sequence is identical for every worker
+	// count.
+	Emit func(core.CFD)
 }
 
 // Mine returns a canonical cover of the k-frequent minimal constant CFDs of r.
@@ -45,7 +52,30 @@ func MineContext(ctx context.Context, r *core.Relation, opts Options) ([]core.CF
 	if err != nil {
 		return nil, err
 	}
+	if opts.Emit != nil {
+		return nil, EmitFromItemsets(ctx, m, opts.Workers, opts.Emit)
+	}
 	return MineFromItemsetsContext(ctx, m, opts.Workers)
+}
+
+// EmitFromItemsets is the streaming form of MineFromItemsetsContext: the rules
+// of each free item set are handed to emit as they are derived — free sets in
+// the miner's ascending-size order, rules in canonical order within each free
+// set — instead of being collected and sorted globally. The emitted sequence
+// is identical for every worker count; a cancelled run stops after the
+// in-flight free sets and returns ctx.Err().
+func EmitFromItemsets(ctx context.Context, m *itemset.Mining, workers int, emit func(core.CFD)) error {
+	return pool.Stream(ctx, workers, len(m.Free),
+		func(_, i int) []core.CFD {
+			rules := freeSetRules(m, m.Free[i])
+			core.SortCFDs(rules)
+			return rules
+		},
+		func(_ int, rules []core.CFD) {
+			for _, c := range rules {
+				emit(c)
+			}
+		})
 }
 
 // MineFromItemsets runs CFDMiner over a precomputed free/closed item-set

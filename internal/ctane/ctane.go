@@ -31,6 +31,14 @@ type Options struct {
 	// per CPU, 1 runs sequentially. The discovered cover is identical for
 	// every worker count.
 	Workers int
+	// Emit, when non-nil, switches MineContext into streaming mode: each
+	// lattice level's CFDs are handed to Emit (deduplicated and in canonical
+	// order within the level) as soon as the level is validated, and the
+	// final return value is nil. Cancelling the context stops the traversal
+	// at the next level boundary, which is how a consumer that has seen
+	// enough rules aborts the remaining (deeper, more expensive) levels. The
+	// emitted sequence is identical for every worker count.
+	Emit func(core.CFD)
 }
 
 // Mine returns the minimal k-frequent CFDs of r discovered by CTANE.
@@ -208,6 +216,7 @@ func MineContext(ctx context.Context, r *core.Relation, opts Options) ([]core.CF
 		}
 		// Step 2: emit valid candidate CFDs and update the C+ sets, in the
 		// level's sorted order.
+		levelStart := len(out)
 		for i, e := range level {
 			e.attrs.ForEach(func(a int) {
 				cA := e.tp[a]
@@ -248,6 +257,19 @@ func MineContext(ctx context.Context, r *core.Relation, opts Options) ([]core.CF
 					all.Diff(e.attrs).ForEach(func(b int) { s.cplus.removeAttr(b) })
 				}
 			})
+		}
+		// Streaming mode: hand this level's CFDs to the consumer now. Each
+		// level's CFDs have a strictly larger LHS than every earlier level's,
+		// so no later level can duplicate them; the batch is deduplicated and
+		// canonically ordered within the level, keeping the emitted sequence
+		// identical for every worker count.
+		if opts.Emit != nil {
+			batch := core.DedupCFDs(out[levelStart:])
+			core.SortCFDs(batch)
+			for _, c := range batch {
+				opts.Emit(c)
+			}
+			out = out[:levelStart]
 		}
 		// Step 3: prune elements with (conservatively detected) empty C+.
 		kept := level[:0]

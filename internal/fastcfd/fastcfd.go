@@ -46,6 +46,13 @@ type Options struct {
 	// The output is identical for every worker count (results are merged in
 	// right-hand-side attribute order).
 	Workers int
+	// Emit, when non-nil, switches MineContext into streaming mode: the
+	// constant CFDs (when CFDMiner handles them) are handed to Emit first,
+	// then each right-hand-side attribute's variable CFDs as its FindCover
+	// search completes, in attribute order; the final return value is nil.
+	// Cancelling the context abandons the remaining per-attribute searches.
+	// The emitted sequence is identical for every worker count.
+	Emit func(core.CFD)
 }
 
 // Mine returns the minimal k-frequent CFDs of r discovered by FastCFD with the
@@ -111,8 +118,25 @@ func MineContext(ctx context.Context, r *core.Relation, opts Options) ([]core.CF
 			if opts.MaxLHS > 0 && c.LHS.Len() > opts.MaxLHS {
 				continue
 			}
-			out = append(out, c)
+			if opts.Emit != nil {
+				opts.Emit(c)
+			} else {
+				out = append(out, c)
+			}
 		}
+	}
+	if opts.Emit != nil {
+		// Streaming mode: hand each attribute's variable CFDs to the consumer
+		// as its FindCover search completes, in attribute order. Constant and
+		// variable CFDs never coincide and no two free sets (or attributes)
+		// derive the same rule, so the stream needs no global deduplication.
+		return nil, pool.Stream(ctx, opts.Workers, r.Arity(),
+			func(_, rhs int) []core.CFD { return f.findCover(rhs) },
+			func(_ int, cfds []core.CFD) {
+				for _, c := range cfds {
+					opts.Emit(c)
+				}
+			})
 	}
 	perRHS, err := pool.Map(ctx, opts.Workers, r.Arity(), func(_, rhs int) []core.CFD {
 		return f.findCover(rhs)

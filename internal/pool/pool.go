@@ -83,6 +83,86 @@ func Map[T any](ctx context.Context, workers, n int, fn func(worker, i int) T) (
 	return out, nil
 }
 
+// Stream runs fn(worker, i) for every i in [0, n) on at most workers
+// goroutines, like Map, but hands each result to emit in index order as soon
+// as it and every earlier result are available — the backbone of the
+// streaming discovery engine, where results must flow to the consumer before
+// the whole run finishes, in an order independent of the worker count.
+//
+// emit runs on the calling goroutine and may overlap with fn calls for later
+// indexes. If ctx is cancelled before every index has been dispatched, Stream
+// stops scheduling new work, emits whatever ordered prefix completed, waits
+// for the in-flight items, and returns ctx.Err(); a run whose every item was
+// emitted returns nil even if the context fired afterwards.
+func Stream[T any](ctx context.Context, workers, n int, fn func(worker, i int) T, emit func(i int, v T)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Normalize(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			emit(i, fn(0, i))
+		}
+		return nil
+	}
+	type item struct {
+		i int
+		v T
+	}
+	ch := make(chan item, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	done := ctx.Done()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				ch <- item{i: i, v: fn(w, i)}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	// Reorder the completions: buffer out-of-order results and emit the
+	// longest contiguous prefix.
+	pending := make(map[int]T)
+	nextEmit := 0
+	for it := range ch {
+		pending[it.i] = it.v
+		for {
+			v, ok := pending[nextEmit]
+			if !ok {
+				break
+			}
+			delete(pending, nextEmit)
+			emit(nextEmit, v)
+			nextEmit++
+		}
+	}
+	if nextEmit < n {
+		return ctx.Err()
+	}
+	return nil
+}
+
 // Each is Map without results: it runs fn(worker, i) for every i in [0, n)
 // and returns ctx.Err() if the run was cut short by cancellation.
 func Each(ctx context.Context, workers, n int, fn func(worker, i int)) error {

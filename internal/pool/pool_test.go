@@ -138,6 +138,77 @@ func TestMapZeroItems(t *testing.T) {
 	}
 }
 
+// TestStreamOrderDeterministic checks that Stream emits every result exactly
+// once, in index order, for every worker count.
+func TestStreamOrderDeterministic(t *testing.T) {
+	const n = 200
+	for _, workers := range []int{1, 2, 4, 16, n + 5} {
+		var got []int
+		err := Stream(context.Background(), workers, n,
+			func(_, i int) int { return i * i },
+			func(i, v int) { got = append(got, i, v) })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 2*n {
+			t.Fatalf("workers=%d: %d emissions", workers, len(got)/2)
+		}
+		for i := 0; i < n; i++ {
+			if got[2*i] != i || got[2*i+1] != i*i {
+				t.Fatalf("workers=%d: emission %d = (%d, %d), want (%d, %d)", workers, i, got[2*i], got[2*i+1], i, i*i)
+			}
+		}
+	}
+}
+
+// TestStreamCancelMidRun cancels from inside the emit callback and checks
+// Stream stops dispatching, returns the context error, and never emits out of
+// order.
+func TestStreamCancelMidRun(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var emitted []int
+		const n = 10000
+		err := Stream(ctx, workers, n,
+			func(_, i int) int { time.Sleep(50 * time.Microsecond); return i },
+			func(i, _ int) {
+				emitted = append(emitted, i)
+				if len(emitted) == 8 {
+					cancel()
+				}
+			})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if len(emitted) >= n {
+			t.Errorf("workers=%d: cancellation did not stop the stream", workers)
+		}
+		for i, v := range emitted {
+			if v != i {
+				t.Fatalf("workers=%d: emission %d has index %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestStreamPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		emitted := 0
+		err := Stream(ctx, workers, 100,
+			func(_, i int) int { return i },
+			func(_, _ int) { emitted++ })
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if emitted > 8 {
+			t.Errorf("workers=%d: %d emissions despite pre-cancelled context", workers, emitted)
+		}
+	}
+}
+
 func TestEach(t *testing.T) {
 	var sum atomic.Int64
 	if err := Each(context.Background(), 3, 100, func(_, i int) { sum.Add(int64(i)) }); err != nil {

@@ -1,0 +1,246 @@
+package rules_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/cfd"
+	"repro/rules"
+)
+
+func custRules() []cfd.CFD {
+	constant, err := cfd.Parse("([AC] -> CT, (131 || EDI))")
+	if err != nil {
+		panic(err)
+	}
+	return []cfd.CFD{
+		constant,
+		cfd.NewFD([]string{"CC", "ZIP"}, "STR"),
+		cfd.NewFD([]string{"CC", "AC"}, "CT"),
+	}
+}
+
+func prov() rules.Provenance {
+	return rules.Provenance{Algorithm: "ctane", Support: 2, Tuples: 8, Attributes: 7, Elapsed: 3 * time.Millisecond}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := rules.New(custRules(), prov())
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Constant() != 1 || s.Variable() != 2 {
+		t.Fatalf("classes = (%d, %d), want (1, 2)", s.Constant(), s.Variable())
+	}
+	if got := s.Provenance(); got != prov() {
+		t.Fatalf("provenance = %+v", got)
+	}
+	// Set order is preserved.
+	if s.CFDs()[0].RHSPattern != "EDI" {
+		t.Fatalf("first rule = %s", s.CFDs()[0])
+	}
+	// Tableaux group by embedded FD: ([AC]->CT) and ([CC,AC]->CT) differ,
+	// so three rules make three tableaux here.
+	if got := len(s.Tableaux()); got != 3 {
+		t.Fatalf("%d tableaux", got)
+	}
+}
+
+func TestNilSetIsEmpty(t *testing.T) {
+	var s *rules.Set
+	if s.Len() != 0 || s.CFDs() != nil || s.Constant() != 0 || s.Variable() != 0 || s.Tableaux() != nil {
+		t.Fatal("nil set must behave as empty")
+	}
+	if !s.Provenance().IsZero() {
+		t.Fatal("nil set must have zero provenance")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	s := rules.New(custRules(), prov())
+	text := s.Text()
+	if !strings.HasPrefix(text, "# ctane on 8 tuples x 7 attributes, k=2: 3 CFDs (1 constant, 2 variable) in 3ms\n") {
+		t.Fatalf("header = %q", strings.SplitN(text, "\n", 2)[0])
+	}
+	back, err := rules.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 || back.Constant() != 1 || back.Variable() != 2 {
+		t.Fatalf("round trip: %d rules (%d constant, %d variable)", back.Len(), back.Constant(), back.Variable())
+	}
+	if got := back.Provenance(); got != prov() {
+		t.Fatalf("provenance after text round trip = %+v, want %+v", got, prov())
+	}
+	// The rendered rules agree as sets.
+	want := keys(s.CFDs())
+	if got := keys(back.CFDs()); !reflect.DeepEqual(got, want) {
+		t.Fatalf("rules after round trip = %v, want %v", got, want)
+	}
+}
+
+func TestTextHeaderWithoutProvenance(t *testing.T) {
+	s := rules.Of(custRules()...)
+	if !strings.HasPrefix(s.Text(), "# rules on 0 tuples") {
+		t.Fatalf("header = %q", strings.SplitN(s.Text(), "\n", 2)[0])
+	}
+	back, err := rules.Parse(s.Text())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 {
+		t.Fatalf("round trip lost rules: %d", back.Len())
+	}
+	// The placeholder header must not be mistaken for real provenance: a
+	// hand-built set stays provenance-less through a text round trip.
+	if !back.Provenance().IsZero() {
+		t.Fatalf("text round trip fabricated provenance: %+v", back.Provenance())
+	}
+}
+
+// TestParseServeEnvelope checks the GET /rules round trip: the full envelope
+// cfdserve serves ({"attributes": ..., "ruleset": {...}}) parses into the
+// contained rule set, while JSON objects carrying no rules at all are
+// rejected instead of silently yielding an empty set.
+func TestParseServeEnvelope(t *testing.T) {
+	s := rules.New(custRules(), prov())
+	inner, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envelope, err := json.Marshal(map[string]any{
+		"attributes": []string{"CC", "AC", "PN", "NM", "STR", "CT", "ZIP"},
+		"ruleset":    json.RawMessage(inner),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := rules.Parse(string(envelope))
+	if err != nil {
+		t.Fatalf("the GET /rules envelope must parse: %v", err)
+	}
+	if back.Len() != 3 || back.Provenance() != prov() {
+		t.Fatalf("envelope round trip: %d rules, provenance %+v", back.Len(), back.Provenance())
+	}
+	for _, bogus := range []string{`{}`, `{"violations": []}`, `{"ruleset": {}}`} {
+		if _, err := rules.Parse(bogus); err == nil {
+			t.Errorf("JSON without a rules array must be rejected: %s", bogus)
+		}
+	}
+	// An explicitly empty rule set is still valid.
+	empty, err := rules.Parse(`{"rules": []}`)
+	if err != nil || empty.Len() != 0 {
+		t.Fatalf("empty rule array: set %v, err %v", empty, err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := rules.New(custRules(), prov())
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wire form carries the derived views for consumers.
+	var wire map[string]any
+	if err := json.Unmarshal(data, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire["constant"].(float64) != 1 || wire["variable"].(float64) != 2 {
+		t.Fatalf("wire counts = %v", wire)
+	}
+	if len(wire["rules"].([]any)) != 3 || len(wire["tableaux"].([]any)) != 3 {
+		t.Fatalf("wire rules/tableaux = %v", wire)
+	}
+	if wire["provenance"].(map[string]any)["algorithm"] != "ctane" {
+		t.Fatalf("wire provenance = %v", wire["provenance"])
+	}
+
+	back, err := rules.Parse(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 || back.Provenance() != prov() {
+		t.Fatalf("JSON round trip: %d rules, provenance %+v", back.Len(), back.Provenance())
+	}
+	// Rule order is preserved exactly by the JSON codec.
+	for i, c := range back.CFDs() {
+		if !c.Equal(s.CFDs()[i]) {
+			t.Fatalf("rule %d changed: %s vs %s", i, c, s.CFDs()[i])
+		}
+	}
+}
+
+func TestLoadSniffsFormats(t *testing.T) {
+	s := rules.New(custRules(), prov())
+	dir := t.TempDir()
+
+	textPath := filepath.Join(dir, "rules.txt")
+	if err := s.Save(textPath); err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(dir, "rules.json")
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(jsonPath, data); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{textPath, jsonPath} {
+		got, err := rules.Load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if got.Len() != 3 || got.Provenance() != prov() {
+			t.Fatalf("%s: %d rules, provenance %+v", path, got.Len(), got.Provenance())
+		}
+	}
+	if _, err := rules.Load(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	if _, err := rules.Parse("{not json"); err == nil {
+		t.Fatal("malformed JSON must error")
+	}
+	if _, err := rules.Parse("([A] -> , broken"); err == nil {
+		t.Fatal("malformed rule file must error")
+	}
+}
+
+// TestConcurrentLazyViews exercises the lazily computed views from many
+// goroutines, as cfdserve's handlers do under its read lock.
+func TestConcurrentLazyViews(t *testing.T) {
+	s := rules.New(custRules(), prov())
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if s.Constant() != 1 || s.Variable() != 2 || len(s.Tableaux()) != 3 {
+				t.Error("derived views wrong under concurrency")
+			}
+			if _, err := json.Marshal(s); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func keys(cfds []cfd.CFD) map[string]bool {
+	m := make(map[string]bool, len(cfds))
+	for _, c := range cfds {
+		m[c.Normalize().String()] = true
+	}
+	return m
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -6,10 +6,10 @@
 // deleting or updating a tuple only touches the affected group of each rule:
 // O(rules) map work per tuple, independent of the relation size.
 //
-// An Engine is built from a rule set ([]cfd.CFD or pattern tableaux), bulk
-// loaded from a *cfd.Relation (in parallel across rules, on repro/internal/
-// pool), and then kept current with Insert / Delete / Update as tuples arrive
-// and change. The current violation state is read back as a streaming
+// An Engine is built from a first-class rule set (*rules.Set, or pattern
+// tableaux via NewFromTableaux), bulk loaded from a *cfd.Relation (in
+// parallel across rules, on repro/internal/pool), and then kept current with
+// Insert / Delete / Update as tuples arrive and change. The current violation state is read back as a streaming
 // Violations sequence, a Report (the same shape repro/cleaning returns), or a
 // per-tuple lookup. On any bulk-loaded relation the Engine reports exactly the
 // violation set of the paper's batch semantics (§2.1.2): the batch detectors
@@ -31,6 +31,7 @@ import (
 	"repro/cfd"
 	"repro/internal/core"
 	"repro/internal/pool"
+	"repro/rules"
 )
 
 // Violation records the tuples currently violating one rule.
@@ -74,6 +75,7 @@ type Options struct {
 type Engine struct {
 	schema  *core.Schema
 	dicts   []*core.Dict // engine-owned interning tables, one per attribute
+	set     *rules.Set
 	rules   []cfd.CFD
 	indexes []*core.RuleIndex
 	rows    [][]int32 // tuple id -> encoded row; nil once deleted
@@ -81,25 +83,29 @@ type Engine struct {
 	workers int
 }
 
-// New builds an engine over the given attribute schema and single-pattern
-// rules. Rules must be structurally valid and may only name the given
-// attributes; rule constants outside any data seen so far are fine (they
-// simply match no tuple until one arrives). The rule order is preserved in
-// every snapshot.
-func New(attributes []string, rules []cfd.CFD, opts Options) (*Engine, error) {
+// New builds an engine over the given attribute schema, serving the rules of
+// set (a nil set serves no rules). Rules must be structurally valid and may
+// only name the given attributes; rule constants outside any data seen so far
+// are fine (they simply match no tuple until one arrives). The set's rule
+// order is preserved in every snapshot.
+func New(attributes []string, set *rules.Set, opts Options) (*Engine, error) {
 	schema, err := core.NewSchema(attributes...)
 	if err != nil {
 		return nil, fmt.Errorf("violation: %w", err)
 	}
+	if set == nil {
+		set = rules.Of()
+	}
 	e := &Engine{
 		schema:  schema,
 		dicts:   make([]*core.Dict, schema.Arity()),
+		set:     set,
 		workers: opts.Workers,
 	}
 	for a := range e.dicts {
 		e.dicts[a] = core.NewDict()
 	}
-	for _, rule := range rules {
+	for _, rule := range set.CFDs() {
 		if err := e.addRule(rule); err != nil {
 			return nil, err
 		}
@@ -110,11 +116,11 @@ func New(attributes []string, rules []cfd.CFD, opts Options) (*Engine, error) {
 // NewFromTableaux is New for rules given as pattern tableaux; each tableau is
 // expanded into its single-pattern CFDs (§2.3).
 func NewFromTableaux(attributes []string, tableaux []cfd.TableauCFD, opts Options) (*Engine, error) {
-	var rules []cfd.CFD
+	var expanded []cfd.CFD
 	for _, t := range tableaux {
-		rules = append(rules, t.CFDs()...)
+		expanded = append(expanded, t.CFDs()...)
 	}
-	return New(attributes, rules, opts)
+	return New(attributes, rules.Of(expanded...), opts)
 }
 
 // addRule validates and compiles one rule against the engine's schema. Rule
@@ -275,6 +281,11 @@ func (e *Engine) Size() int { return e.live }
 // Rules returns the engine's rules in order. The slice is shared; do not
 // modify it.
 func (e *Engine) Rules() []cfd.CFD { return e.rules }
+
+// RuleSet returns the rule set the engine serves, with whatever provenance it
+// was built with (discovery provenance when the set came from
+// discovery.Engine.Run).
+func (e *Engine) RuleSet() *rules.Set { return e.set }
 
 // Attributes returns the engine's attribute names in schema order.
 func (e *Engine) Attributes() []string { return e.schema.Names() }

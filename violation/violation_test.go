@@ -8,6 +8,7 @@ import (
 	"repro/cfd"
 	"repro/dataset"
 	"repro/discovery"
+	"repro/rules"
 	"repro/violation"
 )
 
@@ -127,7 +128,7 @@ func fixtures(t *testing.T) []struct {
 func TestBulkLoadMatchesNaiveDetect(t *testing.T) {
 	for _, fx := range fixtures(t) {
 		t.Run(fx.name, func(t *testing.T) {
-			eng, err := violation.New(fx.rel.Attributes(), fx.rules, violation.Options{})
+			eng, err := violation.New(fx.rel.Attributes(), rules.Of(fx.rules...), violation.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -149,14 +150,14 @@ func TestBulkLoadMatchesNaiveDetect(t *testing.T) {
 func TestIncrementalInsertMatchesBulk(t *testing.T) {
 	for _, fx := range fixtures(t) {
 		t.Run(fx.name, func(t *testing.T) {
-			bulk, err := violation.New(fx.rel.Attributes(), fx.rules, violation.Options{})
+			bulk, err := violation.New(fx.rel.Attributes(), rules.Of(fx.rules...), violation.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
 			if err := bulk.BulkLoad(fx.rel); err != nil {
 				t.Fatal(err)
 			}
-			inc, err := violation.New(fx.rel.Attributes(), fx.rules, violation.Options{})
+			inc, err := violation.New(fx.rel.Attributes(), rules.Of(fx.rules...), violation.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -181,7 +182,7 @@ func TestWorkerCountsAgree(t *testing.T) {
 	fx := fixtures(t)[1]
 	var reports []*violation.Report
 	for _, workers := range []int{1, 4} {
-		eng, err := violation.New(fx.rel.Attributes(), fx.rules, violation.Options{Workers: workers})
+		eng, err := violation.New(fx.rel.Attributes(), rules.Of(fx.rules...), violation.Options{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -204,11 +205,11 @@ func TestDeleteAndUpdateMaintenance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rules := []cfd.CFD{
+	ruleList := []cfd.CFD{
 		cfd.NewFD([]string{"A"}, "B"),
 		{LHS: []string{"A"}, RHS: "B", LHSPattern: []string{"c"}, RHSPattern: "w"},
 	}
-	eng, err := violation.New(rel.Attributes(), rules, violation.Options{})
+	eng, err := violation.New(rel.Attributes(), rules.Of(ruleList...), violation.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestDeleteAndUpdateMaintenance(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want := naiveDetect(t, cur, rules)
+		want := naiveDetect(t, cur, ruleList)
 		// Translate the naive result from relation indexes to engine ids.
 		for vi := range want {
 			for ti, tu := range want[vi].Tuples {
@@ -263,7 +264,7 @@ func TestDeleteAndUpdateMaintenance(t *testing.T) {
 
 func TestTupleViolationsAndDirty(t *testing.T) {
 	fx := fixtures(t)[0]
-	eng, err := violation.New(fx.rel.Attributes(), fx.rules, violation.Options{})
+	eng, err := violation.New(fx.rel.Attributes(), rules.Of(fx.rules...), violation.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,12 +277,12 @@ func TestTupleViolationsAndDirty(t *testing.T) {
 		dirty[id] = true
 	}
 	for id := 0; id < eng.Size(); id++ {
-		rules, err := eng.TupleViolations(id)
+		violated, err := eng.TupleViolations(id)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if (len(rules) > 0) != dirty[id] {
-			t.Fatalf("tuple %d: %d violated rules but dirty=%v", id, len(rules), dirty[id])
+		if (len(violated) > 0) != dirty[id] {
+			t.Fatalf("tuple %d: %d violated rules but dirty=%v", id, len(violated), dirty[id])
 		}
 	}
 	if eng.DirtyCount() < len(rep.DirtyTuples) {
@@ -294,17 +295,17 @@ func TestTupleViolationsAndDirty(t *testing.T) {
 
 func TestEngineErrors(t *testing.T) {
 	attrs := []string{"A", "B"}
-	if _, err := violation.New(attrs, []cfd.CFD{cfd.NewFD([]string{"BOGUS"}, "B")}, violation.Options{}); err == nil {
+	if _, err := violation.New(attrs, rules.Of(cfd.NewFD([]string{"BOGUS"}, "B")), violation.Options{}); err == nil {
 		t.Error("unknown LHS attribute must error")
 	}
-	if _, err := violation.New(attrs, []cfd.CFD{cfd.NewFD([]string{"A"}, "BOGUS")}, violation.Options{}); err == nil {
+	if _, err := violation.New(attrs, rules.Of(cfd.NewFD([]string{"A"}, "BOGUS")), violation.Options{}); err == nil {
 		t.Error("unknown RHS attribute must error")
 	}
 	malformed := cfd.CFD{LHS: []string{"A"}, RHS: "B", LHSPattern: []string{"1", "2"}, RHSPattern: "_"}
-	if _, err := violation.New(attrs, []cfd.CFD{malformed}, violation.Options{}); err == nil {
+	if _, err := violation.New(attrs, rules.Of(malformed), violation.Options{}); err == nil {
 		t.Error("malformed rule must error")
 	}
-	eng, err := violation.New(attrs, []cfd.CFD{cfd.NewFD([]string{"A"}, "B")}, violation.Options{})
+	eng, err := violation.New(attrs, rules.Of(cfd.NewFD([]string{"A"}, "B")), violation.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,11 +336,11 @@ func TestEngineErrors(t *testing.T) {
 
 func TestNewFromTableaux(t *testing.T) {
 	rel := dataset.Cust()
-	rules := []cfd.CFD{
+	ruleList := []cfd.CFD{
 		{LHS: []string{"AC"}, RHS: "CT", LHSPattern: []string{"131"}, RHSPattern: "EDI"},
 		{LHS: []string{"AC"}, RHS: "CT", LHSPattern: []string{"908"}, RHSPattern: "MH"},
 	}
-	tableaux := cfd.BuildTableaux(rules)
+	tableaux := cfd.BuildTableaux(ruleList)
 	if len(tableaux) != 1 || len(tableaux[0].Patterns) != 2 {
 		t.Fatalf("expected one tableau with two patterns, got %v", tableaux)
 	}
@@ -355,7 +356,7 @@ func TestNewFromTableaux(t *testing.T) {
 	}
 	// Same violation state as the expanded rule set (rule order differs only
 	// by the tableau's deterministic pattern sort, so compare dirty sets).
-	flat, err := violation.New(rel.Attributes(), rules, violation.Options{})
+	flat, err := violation.New(rel.Attributes(), rules.Of(ruleList...), violation.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,11 +368,44 @@ func TestNewFromTableaux(t *testing.T) {
 	}
 }
 
+// TestRuleSetPreserved checks that the engine hands back the exact rule set
+// it was built from — provenance included — which is what cfdserve's
+// GET /rules serves.
+func TestRuleSetPreserved(t *testing.T) {
+	rel := dataset.Cust()
+	res, err := discovery.CTANE(rel, discovery.Options{Support: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := res.Set()
+	eng, err := violation.New(rel.Attributes(), set, violation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.RuleSet() != set {
+		t.Fatal("RuleSet must return the set the engine was built from")
+	}
+	if got := eng.RuleSet().Provenance().Algorithm; got != "ctane" {
+		t.Fatalf("provenance lost: algorithm = %q", got)
+	}
+	if len(eng.Rules()) != set.Len() {
+		t.Fatalf("Rules() has %d entries, set %d", len(eng.Rules()), set.Len())
+	}
+	// A nil set is served as empty.
+	empty, err := violation.New(rel.Attributes(), nil, violation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.RuleSet().Len() != 0 || len(empty.Rules()) != 0 {
+		t.Fatal("nil set must build an empty engine")
+	}
+}
+
 // TestViolationsStreamingStops checks that the snapshot sequence honours an
 // early break, which is what makes it usable for first-match queries.
 func TestViolationsStreamingStops(t *testing.T) {
 	fx := fixtures(t)[0]
-	eng, err := violation.New(fx.rel.Attributes(), fx.rules, violation.Options{})
+	eng, err := violation.New(fx.rel.Attributes(), rules.Of(fx.rules...), violation.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -390,8 +424,9 @@ func TestViolationsStreamingStops(t *testing.T) {
 
 func ExampleEngine() {
 	rel := dataset.Cust()
-	rules := []cfd.CFD{{LHS: []string{"AC"}, RHS: "CT", LHSPattern: []string{"131"}, RHSPattern: "EDI"}}
-	eng, err := violation.New(rel.Attributes(), rules, violation.Options{})
+	eng, err := violation.New(rel.Attributes(),
+		rules.Of(cfd.CFD{LHS: []string{"AC"}, RHS: "CT", LHSPattern: []string{"131"}, RHSPattern: "EDI"}),
+		violation.Options{})
 	if err != nil {
 		panic(err)
 	}
