@@ -5,28 +5,45 @@
 // automatically — or is discovered on a trusted sample at startup; tuples are
 // then bulk loaded from a CSV and kept current through the API, with the
 // repro/violation engine maintaining per-rule indexes so every mutation costs
-// O(rules), not a rescan.
+// O(rules), not a rescan. The engine is safe under concurrent load: reads
+// serve immutable epoch snapshots, mutations are serialised and fanned out
+// across rule shards.
 //
 // Usage:
 //
 //	cfdserve -rules rules.txt -data dirty.csv
 //	cfdserve -sample clean.csv -support 10 -addr :8080
+//	cfdserve -rules rules.txt -data dirty.csv -state ./state   # durable
+//	cfdserve -state ./state                                    # restart
 //
 // API:
 //
-//	GET    /health                  engine size, rule count, dirty estimate
+//	GET    /health                  engine size, rule count, dirty estimate,
+//	                                epoch, WAL backlog
 //	GET    /rules                   the served rule set as rules.Set JSON
 //	                                (rules, tableaux, provenance, schema)
 //	GET    /violations              full snapshot: per-rule tuples + dirty set
 //	GET    /suspects                tuples most likely erroneous (repair view)
 //	POST   /tuples                  insert {"values":[...]} or {"rows":[[...]]}
+//	                                (a rows batch is atomic)
+//	POST   /batch                   atomic mixed batch {"ops":[{"op":"insert",
+//	                                "values":[...]},{"op":"delete","id":3},
+//	                                {"op":"update","id":2,"values":[...]}]}
 //	GET    /tuples/{id}             one tuple's values
 //	GET    /tuples/{id}/violations  rules the tuple violates
 //	PUT    /tuples/{id}             replace {"values":[...]}
 //	DELETE /tuples/{id}             remove the tuple
 //
+// With -state <dir> the server is durable: every mutation is appended to a
+// JSONL write-ahead log before it is applied, and snapshots are compacted in
+// the background every -compact-every ops (plus once at startup and once at
+// graceful shutdown). A restarted server replays snapshot + WAL and serves a
+// byte-identical /violations report, tuple ids included. -fsync trades
+// ingest latency for durability against machine crashes rather than just
+// process exits.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests.
+// requests and compacting a final snapshot.
 package main
 
 import (
@@ -42,7 +59,6 @@ import (
 	"time"
 
 	"repro/cfd"
-	"repro/dataset"
 	"repro/discovery"
 	"repro/rules"
 )
@@ -58,24 +74,32 @@ type config struct {
 	samplePath string
 	support    int
 	maxLHS     int
+
+	statePath    string
+	fsync        bool
+	compactEvery int
 }
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		rules   = flag.String("rules", "", "rule file: cfddiscover -o text or rules.Set JSON (as served by GET /rules)")
-		data    = flag.String("data", "", "CSV file to bulk load at startup (header row required)")
-		schema  = flag.String("schema", "", "comma-separated attribute names (needed only without -data/-sample)")
-		workers = flag.Int("workers", 0, "worker goroutines for the bulk load (0 = one per CPU)")
-		sample  = flag.String("sample", "", "trusted CSV sample to discover rules from (alternative to -rules)")
-		support = flag.Int("support", 10, "support threshold used when discovering rules from -sample")
-		maxLHS  = flag.Int("maxlhs", 3, "LHS bound used when discovering rules from -sample")
+		addr         = flag.String("addr", ":8080", "listen address")
+		rules        = flag.String("rules", "", "rule file: cfddiscover -o text or rules.Set JSON (as served by GET /rules)")
+		data         = flag.String("data", "", "CSV file to bulk load at startup (header row required)")
+		schema       = flag.String("schema", "", "comma-separated attribute names (needed only without -data/-sample)")
+		workers      = flag.Int("workers", 0, "worker goroutines for bulk loads, batches and snapshots (0 = one per CPU)")
+		sample       = flag.String("sample", "", "trusted CSV sample to discover rules from (alternative to -rules)")
+		support      = flag.Int("support", 10, "support threshold used when discovering rules from -sample")
+		maxLHS       = flag.Int("maxlhs", 3, "LHS bound used when discovering rules from -sample")
+		state        = flag.String("state", "", "state directory for the write-ahead log and snapshots (empty = memory-only)")
+		fsync        = flag.Bool("fsync", false, "fsync the write-ahead log on every commit (durable against machine crashes)")
+		compactEvery = flag.Int("compact-every", 4096, "background-compact a snapshot every N logged ops (0 = only at startup/shutdown)")
 	)
 	flag.Parse()
 
 	cfg := config{
 		addr: *addr, rulesPath: *rules, dataPath: *data, workers: *workers,
 		samplePath: *sample, support: *support, maxLHS: *maxLHS,
+		statePath: *state, fsync: *fsync, compactEvery: *compactEvery,
 	}
 	if *schema != "" {
 		for _, a := range strings.Split(*schema, ",") {
@@ -83,14 +107,19 @@ func main() {
 		}
 	}
 
-	eng, err := loadEngine(cfg)
+	sv, err := buildServing(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("cfdserve: %d rules over %d attributes, %d tuples loaded\n",
-		len(eng.Rules()), len(eng.Attributes()), eng.Size())
+		len(sv.eng.Rules()), len(sv.eng.Attributes()), sv.eng.Size())
+	if sv.store != nil {
+		fmt.Printf("cfdserve: durable state in %s (fsync=%v, compact-every=%d)\n",
+			sv.store.Dir(), cfg.fsync, cfg.compactEvery)
+	}
 
-	srv := &http.Server{Addr: cfg.addr, Handler: newServer(eng).handler()}
+	h := newServer(sv.eng, sv.store, cfg.compactEvery)
+	srv := &http.Server{Addr: cfg.addr, Handler: h.handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -102,6 +131,7 @@ func main() {
 	select {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			sv.close()
 			fatal(err)
 		}
 	case <-ctx.Done():
@@ -110,13 +140,16 @@ func main() {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
+			sv.close()
+			fatal(err)
+		}
+		// In-flight requests and background compactions are drained: fold
+		// the WAL into a final snapshot so the next start replays nothing.
+		h.drainCompactions()
+		if err := sv.close(); err != nil {
 			fatal(err)
 		}
 	}
-}
-
-func loadCSV(path string) (*cfd.Relation, error) {
-	return dataset.LoadCSVFile(path)
 }
 
 // discoverRules mines the serving rule set on the trusted sample; the

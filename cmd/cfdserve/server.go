@@ -2,28 +2,38 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/cfd"
 	"repro/cleaning"
+	"repro/dataset"
 	"repro/rules"
 	"repro/violation"
 )
 
-// server wraps the single-writer violation engine behind an RWMutex so the
-// HTTP handlers can serve reads concurrently and serialise mutations.
+// server exposes the violation engine over HTTP. The engine itself is safe
+// for concurrent use — reads serve immutable epoch snapshots, mutations are
+// serialised and write-ahead logged internally — so the handlers hold no
+// lock of their own; the server only adds the persistence glue (compaction
+// scheduling against the attached Store).
 type server struct {
-	mu      sync.RWMutex
-	eng     *violation.Engine
-	started time.Time
+	eng          *violation.Engine
+	store        *violation.Store // nil when running memory-only
+	compactEvery int              // WAL ops between background compactions
+	compacting   atomic.Bool
+	compactWG    sync.WaitGroup
+	started      time.Time
 }
 
-func newServer(eng *violation.Engine) *server {
-	return &server{eng: eng, started: time.Now()}
+func newServer(eng *violation.Engine, store *violation.Store, compactEvery int) *server {
+	return &server{eng: eng, store: store, compactEvery: compactEvery, started: time.Now()}
 }
 
 // handler builds the route table. All bodies and responses are JSON.
@@ -34,6 +44,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /violations", s.violations)
 	mux.HandleFunc("GET /suspects", s.suspects)
 	mux.HandleFunc("POST /tuples", s.insert)
+	mux.HandleFunc("POST /batch", s.batch)
 	mux.HandleFunc("GET /tuples/{id}", s.tuple)
 	mux.HandleFunc("GET /tuples/{id}/violations", s.tupleViolations)
 	mux.HandleFunc("PUT /tuples/{id}", s.update)
@@ -53,22 +64,66 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// writeOpError maps an engine mutation error onto a status: unknown ids are
+// 404, validation failures 400, write-ahead log failures 500.
+func writeOpError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, violation.ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, violation.ErrWAL):
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
 func pathID(r *http.Request) (int, error) {
 	return strconv.Atoi(r.PathValue("id"))
 }
 
+// maybeCompact starts a background snapshot compaction when enough WAL ops
+// have accumulated. At most one compaction runs at a time; Store.Compact
+// captures its consistent view under a read lock in O(live tuples) pointer
+// work, so writers stall only for that capture, not for the decode or the
+// file write.
+func (s *server) maybeCompact() {
+	if s.store == nil || s.compactEvery <= 0 || s.store.Pending() < s.compactEvery {
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	s.compactWG.Add(1)
+	go func() {
+		defer s.compactWG.Done()
+		defer s.compacting.Store(false)
+		if err := s.store.Compact(s.eng); err != nil {
+			fmt.Fprintln(os.Stderr, "cfdserve: background compaction:", err)
+		}
+	}()
+}
+
+// drainCompactions waits for an in-flight background compaction. Call it
+// after the HTTP server has drained (no handler can start a new one) and
+// before closing the store.
+func (s *server) drainCompactions() { s.compactWG.Wait() }
+
 func (s *server) health(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"status": "ok",
 		"tuples": s.eng.Size(),
 		"rules":  len(s.eng.Rules()),
 		// dirty is the O(rules) per-rule sum, an upper bound across
 		// overlapping rules; GET /violations has the exact set.
 		"dirty":  s.eng.DirtyCount(),
+		"epoch":  s.eng.Epoch(),
 		"uptime": time.Since(s.started).Round(time.Millisecond).String(),
-	})
+	}
+	if s.store != nil {
+		out["state_dir"] = s.store.Dir()
+		out["wal_pending"] = s.store.Pending()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // rules serves the engine's rule set as rules.Set JSON — the rules in set
@@ -77,8 +132,6 @@ func (s *server) health(w http.ResponseWriter, _ *http.Request) {
 // round-trips through rules.Parse, so a client can feed it straight back to
 // cfdserve -rules or cfdclean -rules.
 func (s *server) rules(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"attributes": s.eng.Attributes(),
 		"ruleset":    s.eng.RuleSet(),
@@ -91,8 +144,7 @@ type violationJSON struct {
 }
 
 func (s *server) violations(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	// One immutable epoch snapshot: consistent even while writers proceed.
 	rep := s.eng.Report()
 	out := make([]violationJSON, 0, len(rep.Violations))
 	for _, v := range rep.Violations {
@@ -106,18 +158,15 @@ func (s *server) violations(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *server) suspects(w http.ResponseWriter, _ *http.Request) {
-	// Materialise under the read lock, but run the batch suspect analysis on
-	// the copy outside it: it rescans the whole relation, and holding the lock
-	// for that long would stall every writer behind a polling client.
-	s.mu.RLock()
+	// Relation() materialises one consistent copy; the batch suspect analysis
+	// then runs on the copy without holding anything, so a polling client
+	// never stalls writers.
 	rel, ids, err := s.eng.Relation()
-	set := s.eng.RuleSet()
-	s.mu.RUnlock()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	suspects, err := cleaning.Suspects(rel, set)
+	suspects, err := cleaning.Suspects(rel, s.eng.RuleSet())
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -149,22 +198,52 @@ func (s *server) insert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("body must carry \"values\" or \"rows\""))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ids := make([]int, 0, len(rows))
-	for _, row := range rows {
-		id, err := s.eng.Insert(row...)
-		if err != nil {
-			// Earlier rows of the batch stay inserted; report how far we got.
-			writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error(), "ids": ids})
-			return
-		}
-		ids = append(ids, id)
+	ops := make([]violation.Op, len(rows))
+	for i, row := range rows {
+		ops[i] = violation.Op{Kind: violation.OpInsert, Values: row}
 	}
+	// One atomic batch: either every row is inserted (and write-ahead
+	// logged as one record) or none is.
+	ids, err := s.eng.ApplyBatch(ops)
+	if err != nil {
+		writeOpError(w, err)
+		return
+	}
+	s.maybeCompact()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ids":    ids,
 		"tuples": s.eng.Size(),
 		"dirty":  s.eng.DirtyCount(),
+	})
+}
+
+// batchRequest is the body of POST /batch: ops applied in order as one
+// atomic, write-ahead-logged mutation.
+type batchRequest struct {
+	Ops []violation.Op `json:"ops"`
+}
+
+func (s *server) batch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("body must carry a non-empty \"ops\" array"))
+		return
+	}
+	ids, err := s.eng.ApplyBatch(req.Ops)
+	if err != nil {
+		writeOpError(w, err)
+		return
+	}
+	s.maybeCompact()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"applied": len(req.Ops),
+		"ids":     ids,
+		"tuples":  s.eng.Size(),
+		"dirty":   s.eng.DirtyCount(),
 	})
 }
 
@@ -174,8 +253,6 @@ func (s *server) tuple(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	row, err := s.eng.Row(id)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
@@ -190,8 +267,6 @@ func (s *server) tupleViolations(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	rules, err := s.eng.TupleViolations(id)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
@@ -219,17 +294,11 @@ func (s *server) update(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("body must carry \"values\""))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, err := s.eng.Row(id); err != nil {
-		writeError(w, http.StatusNotFound, err)
-		return
-	}
-	// The tuple exists, so a failing update is a bad request (arity mismatch).
 	if err := s.eng.Update(id, req.Values...); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeOpError(w, err)
 		return
 	}
+	s.maybeCompact()
 	writeJSON(w, http.StatusOK, map[string]any{"id": id, "dirty": s.eng.DirtyCount()})
 }
 
@@ -239,17 +308,79 @@ func (s *server) remove(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err := s.eng.Delete(id); err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeOpError(w, err)
 		return
 	}
+	s.maybeCompact()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"id":     id,
 		"tuples": s.eng.Size(),
 		"dirty":  s.eng.DirtyCount(),
 	})
+}
+
+// serving bundles what main (and the tests) boot: the engine plus its
+// optional persistence.
+type serving struct {
+	eng   *violation.Engine
+	store *violation.Store
+}
+
+// close compacts a final snapshot (so the next start replays no WAL) and
+// closes the store. Memory-only servings close trivially.
+func (sv *serving) close() error {
+	if sv.store == nil {
+		return nil
+	}
+	if err := sv.store.Compact(sv.eng); err != nil {
+		sv.store.Close()
+		return err
+	}
+	return sv.store.Close()
+}
+
+// buildServing assembles the serving state from the command-line
+// configuration. With -state it prefers the state directory: when the
+// directory already holds a snapshot, the engine — rules, tuples, ids — is
+// rebuilt from it (WAL replayed) and -rules/-data/-sample are ignored;
+// otherwise the engine is built as in a memory-only run, a first snapshot is
+// compacted, and from then on every mutation is write-ahead logged.
+func buildServing(cfg config) (*serving, error) {
+	if cfg.statePath == "" {
+		eng, err := loadEngine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &serving{eng: eng}, nil
+	}
+	store, err := violation.OpenStore(cfg.statePath, violation.StoreOptions{Sync: cfg.fsync})
+	if err != nil {
+		return nil, err
+	}
+	eng, restored, err := store.Load(violation.Options{Workers: cfg.workers})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	if restored {
+		if cfg.rulesPath != "" || cfg.dataPath != "" || cfg.samplePath != "" {
+			fmt.Fprintf(os.Stderr, "cfdserve: state directory %s has a snapshot; ignoring -rules/-data/-sample\n", cfg.statePath)
+		}
+	} else {
+		eng, err = loadEngine(cfg)
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+		// The initial bulk load is captured by a snapshot, not the WAL.
+		if err := store.Compact(eng); err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
+	eng.AttachWAL(store)
+	return &serving{eng: eng, store: store}, nil
 }
 
 // loadEngine builds the serving engine from the command-line configuration:
@@ -311,4 +442,8 @@ func loadEngine(cfg config) (*violation.Engine, error) {
 		}
 	}
 	return eng, nil
+}
+
+func loadCSV(path string) (*cfd.Relation, error) {
+	return dataset.LoadCSVFile(path)
 }

@@ -1,0 +1,311 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// getRaw fetches a URL and returns the raw response body, for byte-identical
+// comparisons across restarts.
+func getRaw(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func fixtureConfig(state string) config {
+	return config{
+		rulesPath:    "testdata/rules.txt",
+		dataPath:     "testdata/cust.csv",
+		statePath:    state,
+		compactEvery: 4096,
+	}
+}
+
+// mutate drives a representative op mix through the HTTP API: a rows insert,
+// a mixed atomic batch, a single-tuple update and a delete.
+func mutate(t *testing.T, base string) {
+	t.Helper()
+	do(t, "POST", base+"/tuples", map[string]any{"rows": [][]string{
+		{"01", "212", "9999999", "Ann", "5th Ave", "NYC", "01202"},
+		{"86", "10", "8888888", "Wei", "Main Rd.", "BJ", "100000"},
+	}}, http.StatusOK)
+	do(t, "POST", base+"/batch", map[string]any{"ops": []map[string]any{
+		{"op": "insert", "values": []string{"44", "131", "7777777", "Ada", "High St.", "GLA", "EH4 1DT"}},
+		{"op": "update", "id": 10, "values": []string{"44", "131", "7777777", "Ada", "High St.", "EDI", "EH4 1DT"}},
+		{"op": "delete", "id": 9},
+	}}, http.StatusOK)
+	do(t, "PUT", base+"/tuples/7", map[string]any{
+		"values": []string{"01", "131", "2222222", "Sean", "3rd Str.", "EDI", "01202"},
+	}, http.StatusOK)
+	do(t, "DELETE", base+"/tuples/2", nil, http.StatusOK)
+}
+
+// TestBatchEndpoint exercises POST /batch: a mixed atomic batch, intra-batch
+// id references, and all-or-nothing on a bad op.
+func TestBatchEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+
+	out := do(t, "POST", ts.URL+"/batch", map[string]any{"ops": []map[string]any{
+		{"op": "insert", "values": []string{"86", "10", "8888888", "Wei", "Main Rd.", "BJ", "100000"}},
+		{"op": "update", "id": 8, "values": []string{"86", "10", "8888888", "Wei", "Main Rd.", "SH", "100000"}},
+		{"op": "delete", "id": 0},
+	}}, http.StatusOK)
+	if got := ints(t, out["ids"]); !reflect.DeepEqual(got, []int{8}) {
+		t.Fatalf("batch ids = %v, want [8]", got)
+	}
+	if out["applied"].(float64) != 3 || out["tuples"].(float64) != 8 {
+		t.Fatalf("batch response = %v", out)
+	}
+	row := do(t, "GET", ts.URL+"/tuples/8", nil, http.StatusOK)
+	if got := row["values"].([]any); got[5] != "SH" {
+		t.Fatalf("intra-batch update lost: %v", got)
+	}
+
+	// A bad op anywhere voids the whole batch.
+	before := getRaw(t, ts.URL+"/violations")
+	do(t, "POST", ts.URL+"/batch", map[string]any{"ops": []map[string]any{
+		{"op": "insert", "values": []string{"01", "212", "9999999", "Ann", "5th Ave", "NYC", "01202"}},
+		{"op": "delete", "id": 4242},
+	}}, http.StatusNotFound)
+	do(t, "POST", ts.URL+"/batch", map[string]any{"ops": []map[string]any{
+		{"op": "frobnicate"},
+	}}, http.StatusBadRequest)
+	do(t, "POST", ts.URL+"/batch", map[string]any{"ops": []map[string]any{}}, http.StatusBadRequest)
+	after := getRaw(t, ts.URL+"/violations")
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed batches must not change the violation state")
+	}
+	// Atomic rows insert: one bad row, nothing lands.
+	tuples := do(t, "GET", ts.URL+"/health", nil, http.StatusOK)["tuples"]
+	do(t, "POST", ts.URL+"/tuples", map[string]any{"rows": [][]string{
+		{"01", "212", "9999999", "Ann", "5th Ave", "NYC", "01202"},
+		{"too", "short"},
+	}}, http.StatusBadRequest)
+	if got := do(t, "GET", ts.URL+"/health", nil, http.StatusOK)["tuples"]; got != tuples {
+		t.Fatalf("tuples %v after a failed rows insert, want %v", got, tuples)
+	}
+}
+
+// TestStateRestart is the durability acceptance check: a server started with
+// -state, killed without a final compaction (the crash path, WAL replay) or
+// with one (the graceful path), serves a byte-identical /violations report
+// after restart — tuple ids included — and keeps assigning ids where the
+// original would.
+func TestStateRestart(t *testing.T) {
+	for _, graceful := range []bool{false, true} {
+		t.Run(map[bool]string{false: "crash-replay", true: "graceful-compacted"}[graceful], func(t *testing.T) {
+			dir := t.TempDir()
+			sv, err := buildServing(fixtureConfig(dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(newServer(sv.eng, sv.store, 4096).handler())
+			mutate(t, ts.URL)
+			want := getRaw(t, ts.URL+"/violations")
+			wantRules := getRaw(t, ts.URL+"/rules")
+			ts.Close()
+			if graceful {
+				if err := sv.close(); err != nil {
+					t.Fatal(err)
+				}
+				// A graceful shutdown folds the WAL into the snapshot.
+				if data, err := os.ReadFile(filepath.Join(dir, "wal.jsonl")); err != nil || len(data) != 0 {
+					t.Fatalf("wal after graceful close: %d bytes, err=%v", len(data), err)
+				}
+			} else {
+				// Kill: the WAL survives, no final snapshot is written.
+				if data, err := os.ReadFile(filepath.Join(dir, "wal.jsonl")); err != nil || len(data) == 0 {
+					t.Fatalf("wal before crash: %d bytes, err=%v", len(data), err)
+				}
+				if err := sv.store.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Restart from the state directory alone: no -rules, no -data.
+			sv2, err := buildServing(config{statePath: dir, compactEvery: 4096})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sv2.close()
+			ts2 := httptest.NewServer(newServer(sv2.eng, sv2.store, 4096).handler())
+			defer ts2.Close()
+			if got := getRaw(t, ts2.URL+"/violations"); !bytes.Equal(got, want) {
+				t.Fatalf("restarted /violations differs:\n%s\nvs\n%s", got, want)
+			}
+			if got := getRaw(t, ts2.URL+"/rules"); !bytes.Equal(got, wantRules) {
+				t.Fatalf("restarted /rules differs:\n%s\nvs\n%s", got, wantRules)
+			}
+			ins := do(t, "POST", ts2.URL+"/tuples", map[string]any{
+				"values": []string{"01", "908", "1111111", "Zoe", "Tree Ave.", "MH", "07974"},
+			}, http.StatusOK)
+			if got := ints(t, ins["ids"]); !reflect.DeepEqual(got, []int{11}) {
+				t.Fatalf("id sequence after restart = %v, want [11]", got)
+			}
+		})
+	}
+}
+
+// TestStateBackgroundCompaction: a tiny -compact-every keeps the WAL backlog
+// bounded while the server stays correct across a restart.
+func TestStateBackgroundCompaction(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fixtureConfig(dir)
+	cfg.compactEvery = 2
+	sv, err := buildServing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newServer(sv.eng, sv.store, cfg.compactEvery)
+	ts := httptest.NewServer(h.handler())
+	for i := 0; i < 20; i++ {
+		row := []string{"01", "212", fmt.Sprintf("%07d", i), "Ann", "5th Ave", "NYC", "01202"}
+		out := do(t, "POST", ts.URL+"/tuples", map[string]any{"values": row}, http.StatusOK)
+		do(t, "DELETE", fmt.Sprintf("%s/tuples/%d", ts.URL, ints(t, out["ids"])[0]), nil, http.StatusOK)
+	}
+	want := getRaw(t, ts.URL+"/violations")
+	ts.Close()
+	h.drainCompactions()
+	if err := sv.store.Close(); err != nil { // crash path
+		t.Fatal(err)
+	}
+	sv2, err := buildServing(config{statePath: dir, compactEvery: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv2.close()
+	ts2 := httptest.NewServer(newServer(sv2.eng, sv2.store, 4096).handler())
+	defer ts2.Close()
+	if got := getRaw(t, ts2.URL+"/violations"); !bytes.Equal(got, want) {
+		t.Fatal("state diverged across background compactions")
+	}
+}
+
+// TestConcurrentHandlers hammers one durable server with parallel readers and
+// writers; under -race this is the serving layer's thread-safety check. Every
+// writer cleans up after itself, so the final violation report must equal the
+// initial one.
+func TestConcurrentHandlers(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fixtureConfig(dir)
+	cfg.compactEvery = 16 // force background compactions into the mix
+	sv, err := buildServing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.close()
+	h := newServer(sv.eng, sv.store, cfg.compactEvery)
+	defer h.drainCompactions()
+	ts := httptest.NewServer(h.handler())
+	defer ts.Close()
+
+	initial := getRaw(t, ts.URL+"/violations")
+
+	const writers, readers, iters = 4, 4, 25
+	var writerWG, readerWG sync.WaitGroup
+	errs := make(chan string, writers+readers)
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < iters; i++ {
+				row := []string{"01", "212", fmt.Sprintf("%d-%d", w, i), "Ann", "5th Ave", "NYC", "01202"}
+				resp, err := http.Post(ts.URL+"/tuples", "application/json",
+					bytes.NewBufferString(fmt.Sprintf(`{"values":["%s","%s","%s","%s","%s","%s","%s"]}`,
+						row[0], row[1], row[2], row[3], row[4], row[5], row[6])))
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				var out struct {
+					IDs []int `json:"ids"`
+				}
+				if err := jsonDecode(resp, &out); err != nil || len(out.IDs) != 1 {
+					errs <- fmt.Sprintf("insert: ids=%v err=%v", out.IDs, err)
+					return
+				}
+				id := out.IDs[0]
+				// Update it via /batch, then delete it.
+				b, err := http.Post(ts.URL+"/batch", "application/json",
+					bytes.NewBufferString(fmt.Sprintf(
+						`{"ops":[{"op":"update","id":%d,"values":["86","10","x","Wei","Main Rd.","BJ","100000"]},{"op":"delete","id":%d}]}`, id, id)))
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if b.StatusCode != http.StatusOK {
+					errs <- fmt.Sprintf("batch status %d", b.StatusCode)
+					b.Body.Close()
+					return
+				}
+				io.Copy(io.Discard, b.Body) //nolint:errcheck
+				b.Body.Close()
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, path := range []string{"/violations", "/health", "/rules", "/tuples/0", "/tuples/0/violations"} {
+					resp, err := http.Get(ts.URL + path)
+					if err != nil {
+						errs <- err.Error()
+						return
+					}
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	// Readers overlap the whole write phase, then stop.
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+	if got := getRaw(t, ts.URL+"/violations"); !bytes.Equal(got, initial) {
+		t.Fatal("violation state diverged after self-cleaning writers")
+	}
+}
+
+func jsonDecode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

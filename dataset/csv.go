@@ -17,41 +17,62 @@ import (
 
 // ReadCSV reads a relation from CSV. When header is true the first record
 // provides the attribute names; otherwise attributes are named A1, A2, ...
+//
+// Records are streamed one at a time into the relation's dictionary-encoded
+// representation, so peak memory is the encoded relation plus one record —
+// not, as a ReadAll would cost, a second full copy of the file as strings.
 func ReadCSV(r io.Reader, header bool) (*cfd.Relation, error) {
 	reader := csv.NewReader(r)
 	reader.FieldsPerRecord = -1
-	records, err := reader.ReadAll()
+	reader.ReuseRecord = true
+	first, err := reader.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("dataset: empty csv input")
+	}
 	if err != nil {
 		return nil, fmt.Errorf("dataset: reading csv: %w", err)
 	}
-	if len(records) == 0 {
-		return nil, fmt.Errorf("dataset: empty csv input")
-	}
 	var names []string
-	var rows [][]string
+	var rel *cfd.Relation
 	if header {
-		names = records[0]
-		rows = records[1:]
+		names = append(names, first...)
 	} else {
-		names = make([]string, len(records[0]))
+		names = make([]string, len(first))
 		for i := range names {
 			names[i] = fmt.Sprintf("A%d", i+1)
 		}
-		rows = records
 	}
-	rel, err := cfd.NewRelation(names...)
+	rel, err = cfd.NewRelation(names...)
 	if err != nil {
 		return nil, err
 	}
-	for i, row := range rows {
-		if len(row) != len(names) {
-			return nil, fmt.Errorf("dataset: row %d has %d fields, want %d", i+1, len(row), len(names))
-		}
-		if err := rel.Append(row...); err != nil {
-			return nil, fmt.Errorf("dataset: row %d: %w", i+1, err)
+	if !header {
+		if err := rel.Append(first...); err != nil {
+			return nil, fmt.Errorf("dataset: row 1: %w", err)
 		}
 	}
-	return rel, nil
+	// Data rows are 1-based in error messages, matching the pre-streaming
+	// reader; with a header, record 1 is the first row after it.
+	row := 0
+	if !header {
+		row = 1
+	}
+	for {
+		record, err := reader.Read()
+		if err == io.EOF {
+			return rel, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading csv: %w", err)
+		}
+		row++
+		if len(record) != len(names) {
+			return nil, fmt.Errorf("dataset: row %d has %d fields, want %d", row, len(record), len(names))
+		}
+		if err := rel.Append(record...); err != nil {
+			return nil, fmt.Errorf("dataset: row %d: %w", row, err)
+		}
+	}
 }
 
 // WriteCSV writes the relation as CSV with a header row.

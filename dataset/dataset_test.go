@@ -2,6 +2,7 @@ package dataset_test
 
 import (
 	"bytes"
+	"fmt"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -65,6 +66,45 @@ func TestReadCSVWithoutHeader(t *testing.T) {
 	}
 	if _, err := dataset.ReadCSV(strings.NewReader("A,B\n1\n"), true); err == nil {
 		t.Error("ragged rows must error")
+	}
+}
+
+// TestReadCSVLarge drives the streaming reader through a relation far larger
+// than any fixture (100k rows) and spot-checks shape and content; a
+// regression to slurping the whole file as [][]string would roughly double
+// this test's peak memory.
+func TestReadCSVLarge(t *testing.T) {
+	const rows = 100_000
+	var buf bytes.Buffer
+	buf.WriteString("ID,GRP,VAL\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&buf, "%d,g%d,v%d\n", i, i%97, i%13)
+	}
+	rel, err := dataset.ReadCSV(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Size() != rows || rel.Arity() != 3 {
+		t.Fatalf("shape = %d x %d, want %d x 3", rel.Size(), rel.Arity(), rows)
+	}
+	for _, i := range []int{0, 1, 50_000, rows - 1} {
+		want := []string{fmt.Sprint(i), fmt.Sprintf("g%d", i%97), fmt.Sprintf("v%d", i%13)}
+		got := rel.Row(i)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("row %d = %v, want %v", i, got, want)
+			}
+		}
+	}
+	// A ragged row deep in the stream reports its 1-based data-row number.
+	var bad bytes.Buffer
+	bad.WriteString("A,B\n")
+	for i := 0; i < 1000; i++ {
+		bad.WriteString("1,2\n")
+	}
+	bad.WriteString("only-one-field\n")
+	if _, err := dataset.ReadCSV(&bad, true); err == nil || !strings.Contains(err.Error(), "row 1001") {
+		t.Fatalf("ragged row error = %v, want it to name row 1001", err)
 	}
 }
 

@@ -13,13 +13,18 @@
 //     and FastFD baselines.
 //   - repro/dataset   — CSV IO, the synthetic Tax generator (ARITY/DBSIZE/CF)
 //     and shape-preserving stand-ins for the UCI data sets.
-//   - repro/violation — the incremental violation-detection engine: per-rule
-//     hash indexes, bulk load plus O(rules) Insert/Delete/Update, streaming
-//     snapshots and per-tuple lookup; served over HTTP by cmd/cfdserve.
+//   - repro/violation — the concurrent incremental violation-detection
+//     engine: sharded per-rule hash indexes, bulk load plus O(rules)
+//     Insert/Delete/Update, atomic ApplyBatch, copy-on-write epoch snapshots
+//     for lock-free consistent reads, and the Store persistence layer
+//     (JSONL write-ahead log + compacted snapshots); served over HTTP by
+//     cmd/cfdserve.
 //   - repro/cleaning  — CFD-based violation detection (delegating to
 //     repro/violation) and repair suggestions.
 //   - repro/experiments — regeneration of every figure of the paper's §6.
 //
 // The root package only hosts the repository-level benchmarks
-// (bench_test.go); see README.md for a walkthrough and the package map.
+// (bench_test.go); see README.md for a walkthrough and the operations guide,
+// and ARCHITECTURE.md for the package-layer map, the data flow from the
+// paper's algorithms to the serving layer, and the snapshot/WAL lifecycle.
 package repro

@@ -1,0 +1,63 @@
+package rules_test
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/cfd"
+	"repro/rules"
+)
+
+// ExampleSet_Text renders a rule set in the text rule-file format — the
+// format cfddiscover -o writes and cfdserve/cfdclean -rules read — whose
+// '#' header carries the provenance through a round trip.
+func ExampleSet_Text() {
+	set := rules.New([]cfd.CFD{
+		{LHS: []string{"AC"}, RHS: "CT", LHSPattern: []string{"131"}, RHSPattern: "EDI"},
+		cfd.NewFD([]string{"CC", "ZIP"}, "STR"),
+	}, rules.Provenance{Algorithm: "ctane", Support: 2, Tuples: 8, Attributes: 7})
+
+	text := set.Text()
+	fmt.Println(text)
+
+	back, err := rules.Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("round trip:", back.Len(), "rules, algorithm", back.Provenance().Algorithm)
+	// Output:
+	// # ctane on 8 tuples x 7 attributes, k=2: 2 CFDs (1 constant, 1 variable) in 0s
+	// ([AC] -> CT, (131 || EDI))
+	// ([CC,ZIP] -> STR, (_, _ || _))
+	//
+	// round trip: 2 rules, algorithm ctane
+}
+
+// ExampleSet_json marshals a rule set as the JSON document cfdserve's
+// GET /rules serves; rules.Parse sniffs the format, so the same bytes load
+// interchangeably with the text form.
+func ExampleSet_json() {
+	set := rules.Of(cfd.CFD{LHS: []string{"AC"}, RHS: "CT", LHSPattern: []string{"131"}, RHSPattern: "EDI"})
+	data, err := json.Marshal(set)
+	if err != nil {
+		panic(err)
+	}
+	var doc struct {
+		Rules    []string `json:"rules"`
+		Constant int      `json:"constant"`
+		Tableaux []any    `json:"tableaux"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		panic(err)
+	}
+	fmt.Printf("document: %d rules, %d constant, %d tableaux\n", len(doc.Rules), doc.Constant, len(doc.Tableaux))
+
+	back, err := rules.Parse(string(data))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("round trip:", back.CFDs()[0])
+	// Output:
+	// document: 1 rules, 1 constant, 1 tableaux
+	// round trip: ([AC] -> CT, (131 || EDI))
+}

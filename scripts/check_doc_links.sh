@@ -1,0 +1,74 @@
+#!/bin/sh
+# Documentation link checker, run by `make docs-check` and the CI docs job:
+# every relative markdown link in the checked documents must point at a file
+# (or file#anchor) that exists in the repository, and the load-bearing
+# cross-references between README.md, ARCHITECTURE.md and doc.go must be
+# present. External http(s) links are not fetched.
+set -eu
+
+DOCS="README.md ARCHITECTURE.md"
+status=0
+
+fail() {
+	echo "docs-check: FAIL: $*" >&2
+	status=1
+}
+
+for doc in $DOCS; do
+	[ -f "$doc" ] || { fail "$doc is missing"; continue; }
+	# Markdown inline link targets: [text](target). One per line (read, not
+	# word-split, so targets containing spaces survive), ignoring images and
+	# external/in-page links.
+	grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//' | while IFS= read -r target; do
+		case "$target" in
+		'' | http://* | https://* | mailto:*) continue ;;
+		\#*) continue ;; # in-page anchor; heading drift is caught below for the ones we pin
+		../*) continue ;; # host-relative GitHub URL (the CI badge), not a repo file
+		esac
+		file="${target%%#*}"
+		if [ ! -e "$file" ]; then
+			echo "docs-check: FAIL: $doc links to missing file $target" >&2
+			exit 1
+		fi
+	done || status=1
+done
+
+# Load-bearing cross-references: the README and doc.go must route readers to
+# the architecture document and back.
+grep -q 'ARCHITECTURE.md' README.md || fail "README.md must link ARCHITECTURE.md"
+grep -q 'README' ARCHITECTURE.md || fail "ARCHITECTURE.md must link back to the README"
+grep -q 'ARCHITECTURE.md' doc.go || fail "doc.go must mention ARCHITECTURE.md"
+
+# Anchored deep links: for every intra-repo link with a #fragment, the target
+# document must contain a heading that slugifies to the fragment.
+for doc in $DOCS; do
+	grep -o '](\([^)]*#[^)]*\))' "$doc" | sed 's/^](//; s/)$//' | while IFS= read -r target; do
+		file="${target%%#*}"
+		anchor="${target#*#}"
+		case "$file" in
+		'' | http://* | https://*) continue ;;
+		esac
+		[ -f "$file" ] || continue # missing files already reported above
+		found=0
+		# Slugify each heading the way GitHub does (lowercase, drop
+		# punctuation, spaces to dashes) and compare. Fenced code blocks are
+		# stripped first so shell comments in examples don't pass as
+		# headings.
+		while IFS= read -r heading; do
+			slug="$(printf '%s' "$heading" \
+				| sed 's/^#*[[:space:]]*//' \
+				| tr '[:upper:]' '[:lower:]' \
+				| sed 's/[^a-z0-9 -]//g; s/ /-/g')"
+			[ "$slug" = "$anchor" ] && found=1
+		done <<-EOF
+		$(awk '/^```/ { fence = !fence; next } !fence' "$file" | grep '^#')
+		EOF
+		if [ "$found" -ne 1 ]; then
+			echo "docs-check: FAIL: $doc links to $target but $file has no matching heading" >&2
+			exit 1
+		fi
+	done || status=1
+done
+
+[ "$status" -eq 0 ] && echo "docs-check: OK"
+exit "$status"

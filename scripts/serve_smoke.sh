@@ -58,4 +58,65 @@ kill -TERM "$PID"
 wait "$PID" || fail "server did not exit cleanly on SIGTERM"
 trap - EXIT
 
+# --- Durability leg: -state, kill, restart, byte-identical violations. ---
+STATE="$(mktemp -d)"
+
+"$BIN" -addr "$ADDR" \
+	-rules cmd/cfdserve/testdata/rules.txt \
+	-data cmd/cfdserve/testdata/cust.csv \
+	-state "$STATE" &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+i=0
+until curl -fs "$BASE/health" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -lt 50 ] || fail "durable server did not come up on $ADDR"
+	sleep 0.1
+done
+
+# Mutate through the atomic batch route: insert two, repair one, delete one.
+batch="$(curl -fs -X POST "$BASE/batch" \
+	-H 'Content-Type: application/json' \
+	-d '{"ops":[
+		{"op":"insert","values":["01","212","9999999","Ann","5th Ave","NYC","01202"]},
+		{"op":"insert","values":["86","10","8888888","Wei","Main Rd.","BJ","100000"]},
+		{"op":"update","id":7,"values":["01","131","2222222","Sean","3rd Str.","EDI","01202"]},
+		{"op":"delete","id":9}
+	]}')"
+echo "$batch" | tr -d ' \n' | grep -q '"ids":\[8,9\]' || fail "unexpected batch response $batch"
+
+before="$(curl -fs "$BASE/violations")"
+
+# Kill hard (no graceful shutdown): recovery must come from snapshot + WAL.
+kill -KILL "$PID"
+wait "$PID" 2>/dev/null || true
+
+"$BIN" -addr "$ADDR" -state "$STATE" &
+PID=$!
+
+i=0
+until curl -fs "$BASE/health" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -lt 50 ] || fail "restarted server did not come up on $ADDR"
+	sleep 0.1
+done
+
+after="$(curl -fs "$BASE/violations")"
+[ "$before" = "$after" ] || fail "restarted /violations differs:
+--- before ---
+$before
+--- after ---
+$after"
+
+# Ids keep counting from where the killed process stopped.
+post="$(curl -fs -X POST "$BASE/tuples" \
+	-H 'Content-Type: application/json' \
+	-d '{"values":["01","908","1111111","Zoe","Tree Ave.","MH","07974"]}')"
+echo "$post" | tr -d ' \n' | grep -q '"ids":\[10\]' || fail "id sequence lost across restart: $post"
+
+kill -TERM "$PID"
+wait "$PID" || fail "durable server did not exit cleanly on SIGTERM"
+trap - EXIT
+
 echo "serve-smoke: OK"

@@ -1,0 +1,238 @@
+package violation
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/pool"
+)
+
+// OpKind names a mutation kind. The string values are the wire form used by
+// the JSONL write-ahead log and by cmd/cfdserve's POST /batch body.
+type OpKind string
+
+const (
+	OpInsert OpKind = "insert"
+	OpDelete OpKind = "delete"
+	OpUpdate OpKind = "update"
+)
+
+// Op is one mutation of the engine's tuple set. Insert carries Values only
+// (the id is assigned on apply); Delete carries ID; Update carries both.
+type Op struct {
+	Kind   OpKind   `json:"op"`
+	ID     int      `json:"id,omitempty"`
+	Values []string `json:"values,omitempty"`
+}
+
+// opJSON is the wire form: id is a pointer so decoding can tell "id":0 apart
+// from a missing id — without that, a delete op with the field omitted would
+// silently target tuple 0.
+type opJSON struct {
+	Kind   OpKind   `json:"op"`
+	ID     *int     `json:"id,omitempty"`
+	Values []string `json:"values,omitempty"`
+}
+
+// MarshalJSON emits the id only for the kinds that address a tuple, so
+// insert records stay free of a meaningless "id":0.
+func (o Op) MarshalJSON() ([]byte, error) {
+	raw := opJSON{Kind: o.Kind, Values: o.Values}
+	if o.Kind == OpDelete || o.Kind == OpUpdate {
+		id := o.ID
+		raw.ID = &id
+	}
+	return json.Marshal(raw)
+}
+
+// UnmarshalJSON rejects delete/update ops without an explicit "id": the
+// zero id is a real tuple, and a client omitting the field must get an
+// error, not a deletion of tuple 0.
+func (o *Op) UnmarshalJSON(data []byte) error {
+	var raw opJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	o.Kind, o.Values, o.ID = raw.Kind, raw.Values, 0
+	if raw.ID != nil {
+		o.ID = *raw.ID
+	} else if raw.Kind == OpDelete || raw.Kind == OpUpdate {
+		return fmt.Errorf("violation: %s op requires an \"id\"", raw.Kind)
+	}
+	return nil
+}
+
+// resolvedOp is one validated op with its row-level effect: the encoded row
+// it removes and/or adds. Replaying resolved ops against any subset of the
+// rule indexes is position-independent, which is what lets apply fan them out
+// across shards.
+type resolvedOp struct {
+	kind OpKind
+	id   int
+	old  []int32 // row removed (delete, update)
+	new  []int32 // row added (insert, update)
+}
+
+// ApplyBatch applies the ops in order as one atomic mutation: either every op
+// is validated and applied, or none is and the first offending op's error is
+// returned. The returned slice holds the assigned id of each insert op, in
+// op order. Ops may refer to ids created or deleted earlier in the same
+// batch.
+//
+// A batch amortises what a loop over Insert/Delete/Update pays per call: one
+// write-lock acquisition, one snapshot invalidation, one write-ahead-log
+// append (and, for a Store opened with Sync, one fsync — the group commit
+// that dominates durable ingest throughput), and index maintenance fanned
+// out across the engine's rule shards on repro/internal/pool.
+func (e *Engine) ApplyBatch(ops []Op) ([]int, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	resolved, ids, err := e.resolve(ops)
+	if err != nil {
+		return nil, err
+	}
+	if e.wal != nil {
+		if err := e.wal.Append(ops); err != nil {
+			return nil, fmt.Errorf("violation: %w: %w", ErrWAL, err)
+		}
+	}
+	e.apply(resolved)
+	e.epoch.Add(1)
+	return ids, nil
+}
+
+// CheckOps validates a batch against the current state without applying it:
+// the error ApplyBatch would return, or nil. Like ApplyBatch it may intern
+// new constants into the engine dictionaries, which is harmless (codes no
+// tuple carries match nothing).
+func (e *Engine) CheckOps(ops []Op) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, _, err := e.resolve(ops)
+	return err
+}
+
+// resolve validates the ops in order against the current state plus the
+// pending effect of the earlier ops of the same batch, and computes each op's
+// row-level effect. It mutates nothing but the interning dictionaries.
+// Callers must hold the write lock.
+func (e *Engine) resolve(ops []Op) ([]resolvedOp, []int, error) {
+	resolved := make([]resolvedOp, 0, len(ops))
+	var ids []int
+	// overlay tracks rows changed by earlier ops of this batch: id -> row,
+	// nil = deleted. appended counts pending inserts (their ids extend the
+	// row table).
+	var overlay map[int][]int32
+	appended := 0
+	rowAt := func(id int) ([]int32, bool) {
+		if row, ok := overlay[id]; ok {
+			return row, row != nil
+		}
+		if id < 0 || id >= len(e.rows)+appended {
+			return nil, false
+		}
+		if id >= len(e.rows) {
+			return nil, false // pending insert ids are always in overlay
+		}
+		row := e.rows[id]
+		return row, row != nil
+	}
+	setOverlay := func(id int, row []int32) {
+		if overlay == nil {
+			overlay = make(map[int][]int32)
+		}
+		overlay[id] = row
+	}
+	fail := func(i int, err error) ([]resolvedOp, []int, error) {
+		if len(ops) > 1 {
+			// The inner error already carries the package prefix.
+			err = fmt.Errorf("batch op %d: %w", i, err)
+		}
+		return nil, nil, err
+	}
+	for i, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			row, err := e.encode(op.Values)
+			if err != nil {
+				return fail(i, err)
+			}
+			id := len(e.rows) + appended
+			appended++
+			setOverlay(id, row)
+			resolved = append(resolved, resolvedOp{kind: OpInsert, id: id, new: row})
+			ids = append(ids, id)
+		case OpDelete:
+			old, ok := rowAt(op.ID)
+			if !ok {
+				return fail(i, fmt.Errorf("violation: tuple %d: %w", op.ID, ErrNotFound))
+			}
+			setOverlay(op.ID, nil)
+			resolved = append(resolved, resolvedOp{kind: OpDelete, id: op.ID, old: old})
+		case OpUpdate:
+			old, ok := rowAt(op.ID)
+			if !ok {
+				return fail(i, fmt.Errorf("violation: tuple %d: %w", op.ID, ErrNotFound))
+			}
+			row, err := e.encode(op.Values)
+			if err != nil {
+				return fail(i, err)
+			}
+			setOverlay(op.ID, row)
+			resolved = append(resolved, resolvedOp{kind: OpUpdate, id: op.ID, old: old, new: row})
+		default:
+			return fail(i, fmt.Errorf("violation: unknown op kind %q", op.Kind))
+		}
+	}
+	return resolved, ids, nil
+}
+
+// apply commits resolved ops: the row table sequentially (appends must land
+// at the pre-assigned ids), then the per-rule indexes — each shard replayed
+// on its own pool worker, rules outer and ops inner for index locality. The
+// replay must run to completion to keep the state consistent, so it is not
+// cancellable. Callers must hold the write lock.
+func (e *Engine) apply(resolved []resolvedOp) {
+	for _, r := range resolved {
+		switch r.kind {
+		case OpInsert:
+			e.rows = append(e.rows, r.new)
+			e.live++
+		case OpDelete:
+			e.rows[r.id] = nil
+			e.live--
+		case OpUpdate:
+			e.rows[r.id] = r.new
+		}
+	}
+	maintain := func(s int) {
+		for _, ri := range e.shards[s] {
+			ix := e.indexes[ri]
+			for _, r := range resolved {
+				switch r.kind {
+				case OpInsert:
+					ix.Insert(r.id, r.new)
+				case OpDelete:
+					ix.Delete(r.id, r.old)
+				case OpUpdate:
+					ix.Delete(r.id, r.old)
+					ix.Insert(r.id, r.new)
+				}
+			}
+		}
+	}
+	// A single op (the Insert/Delete/Update fast path) is not worth a pool
+	// dispatch; neither is a single shard.
+	if len(resolved) == 1 || len(e.shards) <= 1 {
+		for s := range e.shards {
+			maintain(s)
+		}
+		return
+	}
+	// context.Background: batch index maintenance must not stop halfway.
+	_ = pool.Each(context.Background(), e.workers, len(e.shards), func(_, s int) { maintain(s) })
+}

@@ -1,0 +1,515 @@
+package violation
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/pool"
+	"repro/rules"
+)
+
+// Store is the file-backed persistence layer of the engine: an append-only
+// JSONL write-ahead log of ops plus periodically compacted snapshots, under
+// one state directory. It implements CommitLog, so attaching it with
+// Engine.AttachWAL makes every mutation durable before it is applied.
+//
+// # On-disk layout
+//
+//	<dir>/snapshot.json  the last compacted state: schema, rule set (with
+//	                     provenance), every live tuple with its id, the next
+//	                     id to assign, and the WAL sequence number the
+//	                     snapshot includes
+//	<dir>/wal.jsonl      one JSON record per committed mutation:
+//	                     {"seq":N,"ops":[...]} — a batch is one record, so
+//	                     replay preserves its atomicity
+//
+// Recovery (Load) rebuilds the engine from the snapshot and replays every
+// WAL record with a sequence number above the snapshot's; records at or
+// below it are already folded in, which is what makes the
+// compact-then-truncate pair crash-safe in either order. A torn trailing
+// WAL record (a crash mid-append) is detected on open and truncated away.
+//
+// A Store assumes a single owning process; it does not lock the directory
+// against concurrent processes.
+type Store struct {
+	dir  string
+	sync bool
+
+	// compactMu serialises whole compactions: without it two overlapping
+	// Compact calls could rename their snapshots out of capture order and
+	// regress the on-disk state below an already-truncated WAL.
+	compactMu sync.Mutex
+
+	mu       sync.Mutex
+	wal      *os.File
+	walOff   int64  // current end offset of the WAL file
+	seq      uint64 // sequence number of the last committed record
+	snapSeq  uint64 // WAL sequence the current snapshot file includes
+	snapFile *snapshotFile
+	pending  int // ops appended since the last compaction
+}
+
+// StoreOptions configures a Store.
+type StoreOptions struct {
+	// Sync forces an fsync after every WAL append and snapshot write, making
+	// commits durable against machine crashes, not just process exits. Off,
+	// appends still reach the kernel before a mutation is applied (surviving
+	// a kill), but may be lost on power failure.
+	Sync bool
+}
+
+// walRecord is one committed mutation on the wire.
+type walRecord struct {
+	Seq uint64 `json:"seq"`
+	Ops []Op   `json:"ops"`
+}
+
+// snapshotFile is the compacted state on the wire.
+type snapshotFile struct {
+	Format     int          `json:"format"`
+	WalSeq     uint64       `json:"wal_seq"`
+	Attributes []string     `json:"attributes"`
+	RuleSet    *rules.Set   `json:"ruleset"`
+	NextID     int          `json:"next_id"`
+	Tuples     []savedTuple `json:"tuples"`
+}
+
+// savedTuple is one live tuple with its stable id.
+type savedTuple struct {
+	ID     int      `json:"id"`
+	Values []string `json:"values"`
+}
+
+const (
+	snapshotName  = "snapshot.json"
+	walName       = "wal.jsonl"
+	currentFormat = 1
+)
+
+// OpenStore opens (creating if needed) the state directory: it reads the
+// snapshot, scans the WAL for the last committed sequence number, and
+// truncates a torn trailing record left by a crash mid-append. Call Load to
+// rebuild the engine, then Engine.AttachWAL(store) to log further mutations.
+func OpenStore(dir string, opts StoreOptions) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("violation: opening store: %w", err)
+	}
+	st := &Store{dir: dir, sync: opts.Sync}
+	data, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	switch {
+	case err == nil:
+		var file snapshotFile
+		if err := json.Unmarshal(data, &file); err != nil {
+			return nil, fmt.Errorf("violation: corrupt %s: %w", snapshotName, err)
+		}
+		if file.Format != currentFormat {
+			return nil, fmt.Errorf("violation: %s has format %d, this build reads %d", snapshotName, file.Format, currentFormat)
+		}
+		st.snapFile = &file
+		st.snapSeq = file.WalSeq
+		st.seq = file.WalSeq
+	case os.IsNotExist(err):
+	default:
+		return nil, fmt.Errorf("violation: opening store: %w", err)
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("violation: opening store: %w", err)
+	}
+	st.wal = wal
+	if err := st.scanWAL(); err != nil {
+		wal.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+// readRecords streams the log's records from the start: fn is called with
+// each intact record, and the returned offset is the end of the last one. A
+// record is intact only when its trailing newline made it to disk and its
+// JSON parses — Append writes record+'\n' in one call, so anything short of
+// that is a tear from a crash mid-append, and everything from the first tear
+// on is untrusted. Records are read with no line-length cap: a large batch
+// is one (arbitrarily long) record. Callers must hold st.mu.
+func (st *Store) readRecords(fn func(rec walRecord)) (int64, error) {
+	if _, err := st.wal.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("violation: scanning %s: %w", walName, err)
+	}
+	var off int64
+	r := bufio.NewReader(st.wal)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			// A trailing fragment without its newline (len(line) > 0) is a
+			// torn append: the commit never returned, drop it.
+			return off, nil
+		}
+		if err != nil {
+			return 0, fmt.Errorf("violation: scanning %s: %w", walName, err)
+		}
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return off, nil // torn or corrupt: ignore from here on
+		}
+		off += int64(len(line))
+		fn(rec)
+	}
+}
+
+// scanWAL reads the log once on open: it advances seq past every intact
+// record, truncates the file after the last one (dropping a torn tail), and
+// leaves the file offset at the end for appending.
+func (st *Store) scanWAL() error {
+	off, err := st.readRecords(func(rec walRecord) {
+		if rec.Seq > st.seq {
+			st.seq = rec.Seq
+		}
+		st.pending += len(rec.Ops)
+	})
+	if err != nil {
+		return err
+	}
+	if err := st.wal.Truncate(off); err != nil {
+		return fmt.Errorf("violation: truncating torn %s tail: %w", walName, err)
+	}
+	if _, err := st.wal.Seek(off, io.SeekStart); err != nil {
+		return fmt.Errorf("violation: scanning %s: %w", walName, err)
+	}
+	st.walOff = off
+	return nil
+}
+
+// Append commits one mutation record to the log. It is the CommitLog hook the
+// engine calls under its write lock: a batch becomes a single record (and,
+// with Sync, a single fsync — the group commit that makes batched ingest fast)
+// and either lands completely or, on error, leaves the log truncated back to
+// the previous record boundary.
+func (st *Store) Append(ops []Op) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	line, err := json.Marshal(walRecord{Seq: st.seq + 1, Ops: ops})
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := st.wal.Write(line); err != nil {
+		// Roll back a partial append so the log stays well-formed.
+		_ = st.wal.Truncate(st.walOff)
+		_, _ = st.wal.Seek(st.walOff, io.SeekStart)
+		return err
+	}
+	if st.sync {
+		if err := st.wal.Sync(); err != nil {
+			_ = st.wal.Truncate(st.walOff)
+			_, _ = st.wal.Seek(st.walOff, io.SeekStart)
+			return err
+		}
+	}
+	st.walOff += int64(len(line))
+	st.seq++
+	st.pending += len(ops)
+	return nil
+}
+
+// Load rebuilds the engine from the snapshot plus the WAL tail. It returns
+// (nil, false, nil) when the store holds no state yet — build the engine some
+// other way, Compact it once, then AttachWAL. Tuple ids (and therefore every
+// violation report) are restored exactly as they were.
+func (st *Store) Load(opts Options) (*Engine, bool, error) {
+	st.mu.Lock()
+	snap := st.snapFile
+	st.mu.Unlock()
+	if snap == nil {
+		if st.seq > 0 {
+			return nil, false, fmt.Errorf("violation: store has a write-ahead log but no %s", snapshotName)
+		}
+		return nil, false, nil
+	}
+	e, err := New(snap.Attributes, snap.RuleSet, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := e.restore(snap.Tuples, snap.NextID); err != nil {
+		return nil, false, err
+	}
+	if err := st.replay(e); err != nil {
+		return nil, false, err
+	}
+	return e, true, nil
+}
+
+// replay applies every WAL record above the snapshot's sequence number, each
+// as one atomic batch. The engine must not have the store attached yet.
+func (st *Store) replay(e *Engine) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	defer st.wal.Seek(st.walOff, io.SeekStart) //nolint:errcheck // repositioned for appends
+	var applyErr error
+	_, err := st.readRecords(func(rec walRecord) {
+		if applyErr != nil || rec.Seq <= st.snapSeq {
+			return // failed already, or folded into the snapshot
+		}
+		if _, err := e.ApplyBatch(rec.Ops); err != nil {
+			applyErr = fmt.Errorf("violation: replaying %s record %d: %w", walName, rec.Seq, err)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return applyErr
+}
+
+// Compact writes a fresh snapshot of the engine's current state (atomically,
+// via a temp file and rename; with Sync the parent directory is fsynced so
+// the rename is durable before the log shrinks) and drops the WAL records it
+// folds in — truncating a quiescent log, or rewriting a busy one down to the
+// unfolded tail, so the WAL stays bounded under sustained writes. Safe to
+// call concurrently with reads and writes: the state and the WAL sequence it
+// covers are captured at one consistent point under the engine's read lock
+// (an O(live tuples) pointer copy; the expensive decode and file write run
+// unlocked), and replay skips folded records by sequence number, so a crash
+// anywhere in the procedure is recoverable.
+func (st *Store) Compact(e *Engine) error {
+	st.compactMu.Lock()
+	defer st.compactMu.Unlock()
+	file := snapshotFile{Format: currentFormat}
+	// Capture under the read lock: the rows slice (inner rows are never
+	// mutated in place — updates swap in fresh slices) and each dictionary's
+	// current value table (append-only; the captured header stays valid).
+	e.mu.RLock()
+	file.Attributes = e.schema.Names()
+	file.RuleSet = e.set
+	file.NextID = len(e.rows)
+	live := e.live
+	rows := append([][]int32(nil), e.rows...)
+	values := make([][]string, len(e.dicts))
+	for a, d := range e.dicts {
+		values[a] = d.Values()
+	}
+	// Writers hold the engine write lock across their Append, so while we
+	// hold the read lock the store's seq exactly matches the captured state.
+	st.mu.Lock()
+	file.WalSeq = st.seq
+	st.mu.Unlock()
+	e.mu.RUnlock()
+
+	// Decode and marshal outside any engine lock.
+	file.Tuples = make([]savedTuple, 0, live)
+	for id, row := range rows {
+		if row == nil {
+			continue
+		}
+		tuple := make([]string, len(row))
+		for a, code := range row {
+			tuple[a] = values[a][code]
+		}
+		file.Tuples = append(file.Tuples, savedTuple{ID: id, Values: tuple})
+	}
+	data, err := json.Marshal(&file)
+	if err != nil {
+		return fmt.Errorf("violation: compacting: %w", err)
+	}
+	tmp, err := os.CreateTemp(st.dir, snapshotName+".tmp*")
+	if err != nil {
+		return fmt.Errorf("violation: compacting: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return fmt.Errorf("violation: compacting: %w", err)
+	}
+	if st.sync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("violation: compacting: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("violation: compacting: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(st.dir, snapshotName)); err != nil {
+		return fmt.Errorf("violation: compacting: %w", err)
+	}
+	if st.sync {
+		// Make the rename itself durable before any WAL shrinking below:
+		// otherwise a power cut could resurface the old snapshot next to an
+		// already-shortened log.
+		if err := syncDir(st.dir); err != nil {
+			return fmt.Errorf("violation: compacting: %w", err)
+		}
+	}
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.snapFile = &file
+	st.snapSeq = file.WalSeq
+	if st.seq == file.WalSeq {
+		// Nothing landed since the capture: the whole log is folded in.
+		if err := st.wal.Truncate(0); err != nil {
+			return fmt.Errorf("violation: truncating %s: %w", walName, err)
+		}
+		if _, err := st.wal.Seek(0, io.SeekStart); err != nil {
+			return fmt.Errorf("violation: truncating %s: %w", walName, err)
+		}
+		st.walOff = 0
+		st.pending = 0
+		return nil
+	}
+	// Appends landed while the snapshot was being written: rewrite the log
+	// down to the unfolded tail so it cannot grow without bound under
+	// sustained traffic. On any error the full log is kept — folded records
+	// are harmless, replay skips them by sequence number.
+	return st.rewriteTailLocked(file.WalSeq)
+}
+
+// rewriteTailLocked replaces the WAL with only the records above keepAbove,
+// atomically (temp file + rename + reopen). Callers must hold st.mu.
+func (st *Store) rewriteTailLocked(keepAbove uint64) error {
+	// Until the new file is swapped in, every exit must leave the old
+	// handle positioned at its append offset.
+	swapped := false
+	defer func() {
+		if !swapped {
+			st.wal.Seek(st.walOff, io.SeekStart) //nolint:errcheck // best effort on error paths
+		}
+	}()
+	tmp, err := os.CreateTemp(st.dir, walName+".tmp*")
+	if err != nil {
+		return fmt.Errorf("violation: rewriting %s: %w", walName, err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	var tail int
+	var writeErr error
+	if _, err := st.readRecords(func(rec walRecord) {
+		if writeErr != nil || rec.Seq <= keepAbove {
+			return
+		}
+		line, err := json.Marshal(rec)
+		if err == nil {
+			_, err = w.Write(append(line, '\n'))
+		}
+		if err != nil {
+			writeErr = err
+			return
+		}
+		tail += len(rec.Ops)
+	}); err != nil {
+		tmp.Close()
+		return err
+	}
+	if writeErr == nil {
+		writeErr = w.Flush()
+	}
+	if writeErr == nil && st.sync {
+		writeErr = tmp.Sync()
+	}
+	if err := tmp.Close(); writeErr == nil {
+		writeErr = err
+	}
+	if writeErr != nil {
+		return fmt.Errorf("violation: rewriting %s: %w", walName, writeErr)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(st.dir, walName)); err != nil {
+		return fmt.Errorf("violation: rewriting %s: %w", walName, err)
+	}
+	if st.sync {
+		if err := syncDir(st.dir); err != nil {
+			return fmt.Errorf("violation: rewriting %s: %w", walName, err)
+		}
+	}
+	wal, err := os.OpenFile(filepath.Join(st.dir, walName), os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("violation: rewriting %s: %w", walName, err)
+	}
+	off, err := wal.Seek(0, io.SeekEnd)
+	if err != nil {
+		wal.Close()
+		return fmt.Errorf("violation: rewriting %s: %w", walName, err)
+	}
+	st.wal.Close()
+	st.wal = wal
+	st.walOff = off
+	st.pending = tail
+	swapped = true
+	return nil
+}
+
+// syncDir fsyncs a directory, making renames inside it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}
+
+// Pending returns the number of ops appended to the WAL since the last
+// compaction (including ops found in the log on open) — the compaction
+// scheduling signal cmd/cfdserve polls.
+func (st *Store) Pending() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.pending
+}
+
+// Dir returns the state directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Close closes the WAL file. The engine must not mutate through this store
+// afterwards.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.wal.Close()
+}
+
+// restore rebuilds the row table from a snapshot: each saved tuple lands at
+// its original id, deleted ids stay as holes, and the next id to assign is
+// nextID. Index building fans out across the rule shards like a bulk load.
+func (e *Engine) restore(tuples []savedTuple, nextID int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	defer e.epoch.Add(1)
+	if len(e.rows) != 0 {
+		return fmt.Errorf("violation: restore into a non-empty engine")
+	}
+	if nextID < len(tuples) {
+		return fmt.Errorf("violation: snapshot next_id %d below its %d tuples", nextID, len(tuples))
+	}
+	e.rows = make([][]int32, nextID)
+	for _, t := range tuples {
+		if t.ID < 0 || t.ID >= nextID {
+			return fmt.Errorf("violation: snapshot tuple id %d outside [0, %d)", t.ID, nextID)
+		}
+		if e.rows[t.ID] != nil {
+			return fmt.Errorf("violation: snapshot tuple id %d duplicated", t.ID)
+		}
+		row, err := e.encode(t.Values)
+		if err != nil {
+			return err
+		}
+		e.rows[t.ID] = row
+		e.live++
+	}
+	return pool.Each(context.Background(), e.workers, len(e.shards), func(_, s int) {
+		for _, ri := range e.shards[s] {
+			ix := e.indexes[ri]
+			for id, row := range e.rows {
+				if row != nil {
+					ix.Insert(id, row)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package violation
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRewriteTailLocked exercises the busy-compaction path at the store
+// level: records at or below the folded sequence are dropped, the tail
+// survives byte-exactly, and the reopened handle keeps appending cleanly.
+func TestRewriteTailLocked(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, v := range []string{"a", "b", "c"} { // seq 1..3
+		if err := st.Append([]Op{{Kind: OpInsert, Values: []string{v}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.mu.Lock()
+	err = st.rewriteTailLocked(2) // fold seq 1-2, keep seq 3
+	st.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Pending(); got != 1 {
+		t.Fatalf("pending = %d after tail rewrite, want 1", got)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(data)); got != `{"seq":3,"ops":[{"op":"insert","values":["c"]}]}` {
+		t.Fatalf("rewritten wal = %q", got)
+	}
+	// Appends continue on the swapped-in file with the right sequence.
+	if err := st.Append([]Op{{Kind: OpDelete, ID: 0}}); err != nil { // seq 4
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.seq != 4 || st2.pending != 2 {
+		t.Fatalf("reopened store: seq=%d pending=%d, want 4 and 2", st2.seq, st2.pending)
+	}
+}
+
+// TestOpJSONRequiresID: the wire decoder rejects delete/update ops without
+// an explicit id (the zero id is a real tuple) and keeps insert records free
+// of a spurious one.
+func TestOpJSONRequiresID(t *testing.T) {
+	var op Op
+	if err := op.UnmarshalJSON([]byte(`{"op":"delete"}`)); err == nil {
+		t.Fatal("delete without id must fail to decode")
+	}
+	if err := op.UnmarshalJSON([]byte(`{"op":"update","values":["x"]}`)); err == nil {
+		t.Fatal("update without id must fail to decode")
+	}
+	if err := op.UnmarshalJSON([]byte(`{"op":"delete","id":0}`)); err != nil || op.ID != 0 {
+		t.Fatalf("explicit id 0 must decode: op=%+v err=%v", op, err)
+	}
+	if err := op.UnmarshalJSON([]byte(`{"op":"insert","values":["x"]}`)); err != nil {
+		t.Fatalf("insert without id must decode: %v", err)
+	}
+	data, err := Op{Kind: OpInsert, Values: []string{"x"}}.MarshalJSON()
+	if err != nil || strings.Contains(string(data), `"id"`) {
+		t.Fatalf("insert must marshal without id: %s (err %v)", data, err)
+	}
+	data, err = Op{Kind: OpDelete}.MarshalJSON()
+	if err != nil || !strings.Contains(string(data), `"id":0`) {
+		t.Fatalf("delete of tuple 0 must marshal its id: %s (err %v)", data, err)
+	}
+}

@@ -1,38 +1,73 @@
 // Package violation is the serving side of the paper's CFD workflow: an
-// indexed, incremental violation-detection engine. Where repro/cleaning's
-// original detector rescanned the whole relation for every rule, the Engine
-// maintains one hash index per rule — tuples grouped by their left-hand-side
-// values, filtered on the rule's pattern constants — so that inserting,
-// deleting or updating a tuple only touches the affected group of each rule:
-// O(rules) map work per tuple, independent of the relation size.
+// indexed, incremental, concurrency-safe violation-detection engine. Where
+// repro/cleaning's original detector rescanned the whole relation for every
+// rule, the Engine maintains one hash index per rule — tuples grouped by
+// their left-hand-side values, filtered on the rule's pattern constants — so
+// that inserting, deleting or updating a tuple only touches the affected
+// group of each rule: O(rules) map work per tuple, independent of the
+// relation size.
 //
 // An Engine is built from a first-class rule set (*rules.Set, or pattern
 // tableaux via NewFromTableaux), bulk loaded from a *cfd.Relation (in
-// parallel across rules, on repro/internal/pool), and then kept current with
-// Insert / Delete / Update as tuples arrive and change. The current violation state is read back as a streaming
-// Violations sequence, a Report (the same shape repro/cleaning returns), or a
-// per-tuple lookup. On any bulk-loaded relation the Engine reports exactly the
+// parallel across rule shards, on repro/internal/pool), and then kept current
+// with Insert / Delete / Update — or, amortising lock and index maintenance
+// over many tuples, with an atomic ApplyBatch — as tuples arrive and change.
+// The current violation state is read back as a streaming Violations
+// sequence, a Report (the same shape repro/cleaning returns), or a per-tuple
+// lookup. On any bulk-loaded relation the Engine reports exactly the
 // violation set of the paper's batch semantics (§2.1.2): the batch detectors
 // in repro/cleaning and repro/cfd route through the same underlying index
 // (internal/core.RuleIndex), so there is one source of truth.
 //
-// The Engine is not safe for concurrent use; callers serving multiple
-// goroutines (such as cmd/cfdserve) must wrap it in a lock. All read-only
-// methods (Violations, Report, Dirty, TupleViolations, ...) may share a read
-// lock.
+// # Concurrency
+//
+// The Engine is safe for concurrent use by any number of readers and
+// writers. Mutations (Insert, Delete, Update, ApplyBatch, BulkLoad) are
+// serialised by an internal write lock; batch mutations fan index
+// maintenance out across rule shards on repro/internal/pool. The bulk
+// readers Violations, Report and Dirty serve an immutable copy-on-write
+// snapshot keyed by a mutation epoch: the first read after a mutation
+// rebuilds the snapshot (briefly excluding writers), and every subsequent
+// read shares it without taking any lock at all, so a polling client never
+// stalls the write path. Point reads (Row, TupleViolations, Size, ...) read
+// the live state under a read lock. Everything a reader receives —
+// snapshots, violation tuple slices, rows — is immutable or freshly built;
+// treat shared slices as read-only.
+//
+// # Durability
+//
+// An Engine is memory-only by default. Attach a Store (or any CommitLog)
+// with AttachWAL and every mutation is appended to a write-ahead log before
+// it is applied; Store adds compacted snapshots on top, so a restarted
+// process can rebuild the exact engine state — tuple ids included — with
+// Store.Load. See Store for the on-disk layout and cmd/cfdserve for the
+// serving deployment.
 package violation
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"iter"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/cfd"
 	"repro/internal/core"
 	"repro/internal/pool"
 	"repro/rules"
 )
+
+// ErrNotFound is wrapped by errors about tuple ids that are not live (never
+// assigned, or deleted). errors.Is(err, ErrNotFound) distinguishes them from
+// validation errors such as arity mismatches.
+var ErrNotFound = errors.New("tuple not found")
+
+// ErrWAL is wrapped by mutation errors caused by the attached CommitLog
+// refusing the append: the mutation was valid but is not durable and was not
+// applied. Servers should report it as an internal fault, not a bad request.
+var ErrWAL = errors.New("write-ahead log append failed")
 
 // Violation records the tuples currently violating one rule.
 type Violation struct {
@@ -41,7 +76,8 @@ type Violation struct {
 }
 
 // Report is a full snapshot of the engine's violation state, mirroring the
-// shape of repro/cleaning's batch report.
+// shape of repro/cleaning's batch report. Its slices are shared with the
+// engine's immutable snapshot; treat them as read-only.
 type Report struct {
 	// Violations holds one entry per violated rule, in rule order.
 	Violations []Violation
@@ -56,31 +92,66 @@ func (rep *Report) Clean() bool { return len(rep.Violations) == 0 }
 
 // Options configures an Engine.
 type Options struct {
-	// Workers bounds the number of goroutines BulkLoad may use: 0 runs one
-	// worker per available CPU (the default), 1 runs sequentially. Incremental
-	// Insert/Delete/Update are always single-threaded; they are O(rules) per
-	// call and not worth fanning out.
+	// Workers bounds the number of goroutines BulkLoad, ApplyBatch and
+	// snapshot rebuilds may use: 0 runs one worker per available CPU (the
+	// default), 1 runs sequentially. Single-tuple Insert/Delete/Update are
+	// always applied inline; they are O(rules) per call and not worth fanning
+	// out.
 	Workers int
+	// Shards is the number of rule shards the per-rule indexes are
+	// partitioned into; batch mutations maintain each shard on its own pool
+	// worker. 0 derives the shard count from Workers; values above the rule
+	// count are clamped. Any shard count yields identical state.
+	Shards int
+}
+
+// CommitLog is the write-ahead hook of the engine: when attached, Append is
+// called with every mutation — under the engine's write lock, after
+// validation, before the mutation is applied — and a non-nil error aborts
+// the mutation without applying it. *Store is the file-backed implementation.
+type CommitLog interface {
+	Append(ops []Op) error
 }
 
 // Engine is an incremental violation detector over a fixed rule set and a
-// mutable set of tuples. Tuple ids are assigned by Insert/BulkLoad in arrival
-// order, starting at 0, and are never reused; for a relation loaded by a
-// single BulkLoad the ids coincide with the relation's tuple indexes.
+// mutable set of tuples. Tuple ids are assigned by Insert/ApplyBatch/BulkLoad
+// in arrival order, starting at 0, and are never reused; for a relation
+// loaded by a single BulkLoad the ids coincide with the relation's tuple
+// indexes.
 //
 // Id stability has a cost: each ever-assigned id keeps a (nil after Delete)
 // slot in the engine's row table, and the per-attribute interning tables only
 // grow. A deployment with unbounded insert/delete churn should periodically
 // rebuild the engine from Relation() (re-basing ids) to reclaim that memory.
 type Engine struct {
+	// mu serialises mutations (Lock) against point reads and snapshot
+	// rebuilds (RLock). The per-rule indexes, rows, dicts and live count are
+	// only written under Lock.
+	mu      sync.RWMutex
 	schema  *core.Schema
 	dicts   []*core.Dict // engine-owned interning tables, one per attribute
 	set     *rules.Set
 	rules   []cfd.CFD
 	indexes []*core.RuleIndex
+	shards  [][]int   // shard -> indexes it owns (round-robin partition)
 	rows    [][]int32 // tuple id -> encoded row; nil once deleted
 	live    int
 	workers int
+	wal     CommitLog
+
+	// epoch counts mutations; snap caches the immutable state snapshot built
+	// at a given epoch. Readers that find a current snapshot never lock.
+	epoch  atomic.Uint64
+	snap   atomic.Pointer[snapshot]
+	snapMu sync.Mutex // serialises snapshot rebuilds
+}
+
+// snapshot is one immutable view of the violation state, shared by every
+// reader at the same epoch.
+type snapshot struct {
+	epoch      uint64
+	violations []Violation // one per violated rule, rule order
+	dirty      []int       // sorted union of violating ids
 }
 
 // New builds an engine over the given attribute schema, serving the rules of
@@ -110,6 +181,7 @@ func New(attributes []string, set *rules.Set, opts Options) (*Engine, error) {
 			return nil, err
 		}
 	}
+	e.shards = shardIndexes(len(e.indexes), opts.Shards, opts.Workers)
 	return e, nil
 }
 
@@ -121,6 +193,26 @@ func NewFromTableaux(attributes []string, tableaux []cfd.TableauCFD, opts Option
 		expanded = append(expanded, t.CFDs()...)
 	}
 	return New(attributes, rules.Of(expanded...), opts)
+}
+
+// shardIndexes partitions n rule indexes round-robin into the configured
+// number of shards (at least one, at most n).
+func shardIndexes(n, shards, workers int) [][]int {
+	s := shards
+	if s <= 0 {
+		s = pool.Normalize(workers)
+	}
+	if s > n {
+		s = n
+	}
+	if s < 1 {
+		s = 1
+	}
+	out := make([][]int, s)
+	for i := 0; i < n; i++ {
+		out[i%s] = append(out[i%s], i)
+	}
+	return out
 }
 
 // addRule validates and compiles one rule against the engine's schema. Rule
@@ -154,7 +246,8 @@ func (e *Engine) addRule(rule cfd.CFD) error {
 	return nil
 }
 
-// encode interns one tuple's values through the engine dictionaries.
+// encode interns one tuple's values through the engine dictionaries. Callers
+// must hold the write lock (interning mutates the dictionaries).
 func (e *Engine) encode(values []string) ([]int32, error) {
 	if len(values) != e.schema.Arity() {
 		return nil, fmt.Errorf("violation: tuple has %d values, schema has %d attributes", len(values), e.schema.Arity())
@@ -166,66 +259,53 @@ func (e *Engine) encode(values []string) ([]int32, error) {
 	return row, nil
 }
 
-// row returns the encoded row of a live tuple id.
+// row returns the encoded row of a live tuple id. Callers must hold mu.
 func (e *Engine) row(id int) ([]int32, error) {
 	if id < 0 || id >= len(e.rows) || e.rows[id] == nil {
-		return nil, fmt.Errorf("violation: tuple %d not found", id)
+		return nil, fmt.Errorf("violation: tuple %d: %w", id, ErrNotFound)
 	}
 	return e.rows[id], nil
+}
+
+// AttachWAL attaches a write-ahead log: from now on every mutation is
+// appended to w (under the write lock, after validation) before it is
+// applied, and fails without applying if the append fails. Attach the log
+// after any initial BulkLoad/restore — bulk loads are not logged; they are
+// captured by snapshot compaction instead (see Store.Compact).
+func (e *Engine) AttachWAL(w CommitLog) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.wal = w
 }
 
 // Insert adds one tuple (values in schema order) and returns its id. Each
 // rule's index is updated in O(affected group).
 func (e *Engine) Insert(values ...string) (int, error) {
-	row, err := e.encode(values)
+	ids, err := e.ApplyBatch([]Op{{Kind: OpInsert, Values: values}})
 	if err != nil {
 		return 0, err
 	}
-	id := len(e.rows)
-	e.rows = append(e.rows, row)
-	e.live++
-	for _, ix := range e.indexes {
-		ix.Insert(id, row)
-	}
-	return id, nil
+	return ids[0], nil
 }
 
 // Delete removes the tuple with the given id.
 func (e *Engine) Delete(id int) error {
-	row, err := e.row(id)
-	if err != nil {
-		return err
-	}
-	for _, ix := range e.indexes {
-		ix.Delete(id, row)
-	}
-	e.rows[id] = nil
-	e.live--
-	return nil
+	_, err := e.ApplyBatch([]Op{{Kind: OpDelete, ID: id}})
+	return err
 }
 
 // Update replaces the values of the tuple with the given id, keeping its id.
 func (e *Engine) Update(id int, values ...string) error {
-	old, err := e.row(id)
-	if err != nil {
-		return err
-	}
-	row, err := e.encode(values)
-	if err != nil {
-		return err
-	}
-	for _, ix := range e.indexes {
-		ix.Delete(id, old)
-		ix.Insert(id, row)
-	}
-	e.rows[id] = row
-	return nil
+	_, err := e.ApplyBatch([]Op{{Kind: OpUpdate, ID: id, Values: values}})
+	return err
 }
 
 // BulkLoad appends every tuple of the relation, whose attributes must match
 // the engine's schema exactly (same names, same order). Index building is
-// parallelised across rules under the engine's worker budget; the resulting
-// state is identical for every worker count.
+// parallelised across rule shards under the engine's worker budget; the
+// resulting state is identical for every worker and shard count. Bulk loads
+// are not written to an attached CommitLog; compact a snapshot afterwards
+// (Store.Compact) if the load must be durable.
 func (e *Engine) BulkLoad(rel *cfd.Relation) error {
 	return e.BulkLoadContext(context.Background(), rel)
 }
@@ -233,6 +313,9 @@ func (e *Engine) BulkLoad(rel *cfd.Relation) error {
 // BulkLoadContext is BulkLoad under a context. A cancelled load returns
 // ctx.Err() and leaves the engine partially loaded; discard it.
 func (e *Engine) BulkLoadContext(ctx context.Context, rel *cfd.Relation) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	defer e.epoch.Add(1)
 	attrs := rel.Attributes()
 	if len(attrs) != e.schema.Arity() {
 		return fmt.Errorf("violation: relation has %d attributes, engine schema has %d", len(attrs), e.schema.Arity())
@@ -246,7 +329,7 @@ func (e *Engine) BulkLoadContext(ctx context.Context, rel *cfd.Relation) error {
 	// every cell as a string, translate each attribute's codes into the
 	// engine's code space once (O(distinct values) string work per attribute)
 	// and map rows by integer indexing. Interning mutates the shared
-	// dictionaries, so this part runs sequentially; the per-rule index
+	// dictionaries, so this part runs sequentially; the per-shard index
 	// building below carries the real cost and fans out.
 	start := len(e.rows)
 	inner := rel.Encoded()
@@ -267,19 +350,29 @@ func (e *Engine) BulkLoadContext(ctx context.Context, rel *cfd.Relation) error {
 		e.rows = append(e.rows, row)
 		e.live++
 	}
-	return pool.Each(ctx, e.workers, len(e.indexes), func(_, ri int) {
-		ix := e.indexes[ri]
-		for id := start; id < len(e.rows); id++ {
-			ix.Insert(id, e.rows[id])
+	return pool.Each(ctx, e.workers, len(e.shards), func(_, s int) {
+		for _, ri := range e.shards[s] {
+			ix := e.indexes[ri]
+			for id := start; id < len(e.rows); id++ {
+				ix.Insert(id, e.rows[id])
+			}
 		}
 	})
 }
 
 // Size returns the number of live tuples.
-func (e *Engine) Size() int { return e.live }
+func (e *Engine) Size() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.live
+}
 
-// Rules returns the engine's rules in order. The slice is shared; do not
-// modify it.
+// Epoch returns the engine's mutation epoch: it increases after every
+// completed mutation, so two reads at the same epoch observed the same state.
+func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
+
+// Rules returns the engine's rules in order. The slice is shared and
+// immutable after construction; do not modify it.
 func (e *Engine) Rules() []cfd.CFD { return e.rules }
 
 // RuleSet returns the rule set the engine serves, with whatever provenance it
@@ -292,6 +385,8 @@ func (e *Engine) Attributes() []string { return e.schema.Names() }
 
 // Row returns the values of a live tuple in schema order.
 func (e *Engine) Row(id int) ([]string, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	row, err := e.row(id)
 	if err != nil {
 		return nil, err
@@ -303,16 +398,60 @@ func (e *Engine) Row(id int) ([]string, error) {
 	return out, nil
 }
 
+// snapshot returns the immutable state snapshot for the current epoch,
+// rebuilding it — in parallel across rules, briefly excluding writers — only
+// when a mutation happened since the last build. The double-checked snapMu
+// keeps a stampede of stale readers down to one rebuild.
+func (e *Engine) snapshot() *snapshot {
+	if s := e.snap.Load(); s != nil && s.epoch == e.epoch.Load() {
+		return s
+	}
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	if s := e.snap.Load(); s != nil && s.epoch == e.epoch.Load() {
+		return s
+	}
+	e.mu.RLock()
+	// The epoch is stable while the read lock is held: writers bump it under
+	// the write lock.
+	epoch := e.epoch.Load()
+	perRule, _ := pool.Map(context.Background(), e.workers, len(e.indexes), func(_, i int) []int {
+		if e.indexes[i].BadTuples() == 0 {
+			return nil
+		}
+		return e.indexes[i].Violating()
+	})
+	e.mu.RUnlock()
+	s := &snapshot{epoch: epoch}
+	dirty := make(map[int]bool)
+	for i, tuples := range perRule {
+		if len(tuples) == 0 {
+			continue
+		}
+		s.violations = append(s.violations, Violation{Rule: e.rules[i], Tuples: tuples})
+		for _, t := range tuples {
+			dirty[t] = true
+		}
+	}
+	s.dirty = make([]int, 0, len(dirty))
+	for t := range dirty {
+		s.dirty = append(s.dirty, t)
+	}
+	sort.Ints(s.dirty)
+	e.snap.Store(s)
+	return s
+}
+
 // Violations streams the current snapshot: one Violation per violated rule,
-// in rule order, with tuple ids ascending. Each yielded Tuples slice is
-// freshly built and owned by the consumer.
+// in rule order, with tuple ids ascending. The whole sequence is served from
+// one immutable epoch snapshot, so it stays consistent — and holds no lock —
+// while concurrent mutations proceed. Yielded Tuples slices are shared with
+// the snapshot; treat them as read-only.
 func (e *Engine) Violations() iter.Seq[Violation] {
+	s := e.snapshot()
 	return func(yield func(Violation) bool) {
-		for i, ix := range e.indexes {
-			if ix.BadTuples() == 0 {
-				continue
-			}
-			if !yield(Violation{Rule: e.rules[i], Tuples: ix.Violating()}) {
+		for _, v := range s.violations {
+			if !yield(v) {
 				return
 			}
 		}
@@ -321,30 +460,27 @@ func (e *Engine) Violations() iter.Seq[Violation] {
 
 // Report materialises the streaming snapshot, mirroring the batch report of
 // repro/cleaning: on a freshly bulk-loaded relation the two are identical.
+// The report's slices are shared with the immutable snapshot; treat them as
+// read-only.
 func (e *Engine) Report() *Report {
-	rep := &Report{RulesChecked: len(e.rules)}
-	dirty := make(map[int]bool)
-	for v := range e.Violations() {
-		rep.Violations = append(rep.Violations, v)
-		for _, t := range v.Tuples {
-			dirty[t] = true
-		}
+	s := e.snapshot()
+	return &Report{
+		Violations:   s.violations,
+		DirtyTuples:  s.dirty,
+		RulesChecked: len(e.rules),
 	}
-	rep.DirtyTuples = make([]int, 0, len(dirty))
-	for t := range dirty {
-		rep.DirtyTuples = append(rep.DirtyTuples, t)
-	}
-	sort.Ints(rep.DirtyTuples)
-	return rep
 }
 
-// Dirty returns the sorted union of all violating tuple ids.
-func (e *Engine) Dirty() []int { return e.Report().DirtyTuples }
+// Dirty returns the sorted union of all violating tuple ids, served from the
+// current epoch snapshot. Treat the slice as read-only.
+func (e *Engine) Dirty() []int { return e.snapshot().dirty }
 
 // DirtyCount returns an upper bound on the number of violating tuples in
 // O(rules): the sum of per-rule violating counts, without deduplication
 // across rules. It is cheap enough for health endpoints polled per request.
 func (e *Engine) DirtyCount() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	n := 0
 	for _, ix := range e.indexes {
 		n += ix.BadTuples()
@@ -353,8 +489,10 @@ func (e *Engine) DirtyCount() int {
 }
 
 // TupleViolations returns the rules the given live tuple currently violates,
-// in rule order, in O(rules).
+// in rule order, in O(rules), as one consistent point-in-time read.
 func (e *Engine) TupleViolations(id int) ([]cfd.CFD, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	row, err := e.row(id)
 	if err != nil {
 		return nil, err
@@ -370,8 +508,11 @@ func (e *Engine) TupleViolations(id int) ([]cfd.CFD, error) {
 
 // Relation materialises the live tuples as a *cfd.Relation together with the
 // engine id of each of its tuples, for handing the current state to batch
-// consumers (repair suggestion, re-discovery, export).
+// consumers (repair suggestion, re-discovery, export). The copy is one
+// consistent point-in-time read.
 func (e *Engine) Relation() (*cfd.Relation, []int, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	rel, err := cfd.NewRelation(e.schema.Names()...)
 	if err != nil {
 		return nil, nil, fmt.Errorf("violation: %w", err)
