@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet staticcheck docs-check fuzz ci clean serve-smoke
+.PHONY: all build test race bench fmt vet staticcheck docs-check fuzz cover ci clean serve-smoke
 
 all: build
 
@@ -52,19 +52,32 @@ staticcheck:
 docs-check:
 	./scripts/check_doc_links.sh
 
-# fuzz runs the cfd.Parse/String round-trip fuzzers for a short CI-sized
-# budget each; the corpus seeds also run as normal tests under `make test`.
+# fuzz runs the codec round-trip fuzzers for a short CI-sized budget each —
+# the cfd text codec pair and the rules.Set JSON codec; the corpus seeds also
+# run as normal tests under `make test`.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./cfd -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./cfd -run '^$$' -fuzz '^FuzzFormat$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./rules -run '^$$' -fuzz '^FuzzJSON$$' -fuzztime $(FUZZTIME)
+
+# cover enforces ratcheted statement-coverage floors on the serving-critical
+# packages. The floors only move up: raise them when coverage improves, and
+# never lower them to make a failing build pass.
+VIOLATION_COVER_FLOOR ?= 86.0
+RULES_COVER_FLOOR ?= 92.0
+cover:
+	$(GO) test -coverprofile=cover_violation.out ./violation > /dev/null
+	$(GO) test -coverprofile=cover_rules.out ./rules > /dev/null
+	@./scripts/check_coverage.sh cover_violation.out $(VIOLATION_COVER_FLOOR) violation
+	@./scripts/check_coverage.sh cover_rules.out $(RULES_COVER_FLOOR) rules
 
 # serve-smoke starts cmd/cfdserve on fixture rules + data, drives the API with
 # curl and checks graceful shutdown; CI runs the same script.
 serve-smoke:
 	./scripts/serve_smoke.sh
 
-ci: fmt vet staticcheck build race fuzz docs-check bench serve-smoke
+ci: fmt vet staticcheck build race cover fuzz docs-check bench serve-smoke
 
 clean:
-	rm -f BENCH_ci.txt BENCH_ci.json
+	rm -f BENCH_ci.txt BENCH_ci.json cover_violation.out cover_rules.out

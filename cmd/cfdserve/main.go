@@ -18,10 +18,17 @@
 //
 // API:
 //
-//	GET    /health                  engine size, rule count, dirty estimate,
-//	                                epoch, WAL backlog
+//	GET    /health                  engine size, rule count + version, dirty
+//	                                estimate, epoch, WAL backlog, last remine
 //	GET    /rules                   the served rule set as rules.Set JSON
-//	                                (rules, tableaux, provenance, schema)
+//	                                (rules, tableaux, provenance, schema),
+//	                                with its version as the ETag
+//	PUT    /rules                   upload a rule file (text or JSON) and
+//	                                atomically swap the served set; responds
+//	                                with the added/removed/retained delta
+//	POST   /rules/remine            re-mine rules over the live tuples in the
+//	                                background and swap if they changed
+//	                                (?wait=1 runs synchronously)
 //	GET    /violations              full snapshot: per-rule tuples + dirty set
 //	GET    /suspects                tuples most likely erroneous (repair view)
 //	POST   /tuples                  insert {"values":[...]} or {"rows":[[...]]}
@@ -33,6 +40,12 @@
 //	GET    /tuples/{id}/violations  rules the tuple violates
 //	PUT    /tuples/{id}             replace {"values":[...]}
 //	DELETE /tuples/{id}             remove the tuple
+//
+// The rule set is live: PUT /rules and POST /rules/remine (or the periodic
+// -remine-every loop) swap it atomically while traffic proceeds, and on a
+// durable server the swap is write-ahead logged, so a restart — graceful or
+// not — always comes back under the rule set it last served. -support and
+// -maxlhs double as the remine discovery parameters.
 //
 // With -state <dir> the server is durable: every mutation is appended to a
 // JSONL write-ahead log before it is applied, and snapshots are compacted in
@@ -78,6 +91,7 @@ type config struct {
 	statePath    string
 	fsync        bool
 	compactEvery int
+	remineEvery  time.Duration
 }
 
 func main() {
@@ -93,6 +107,7 @@ func main() {
 		state        = flag.String("state", "", "state directory for the write-ahead log and snapshots (empty = memory-only)")
 		fsync        = flag.Bool("fsync", false, "fsync the write-ahead log on every commit (durable against machine crashes)")
 		compactEvery = flag.Int("compact-every", 4096, "background-compact a snapshot every N logged ops (0 = only at startup/shutdown)")
+		remineEvery  = flag.Duration("remine-every", 0, "re-mine rules over the live tuples on this interval and hot-swap them when changed (0 = only on POST /rules/remine)")
 	)
 	flag.Parse()
 
@@ -100,6 +115,7 @@ func main() {
 		addr: *addr, rulesPath: *rules, dataPath: *data, workers: *workers,
 		samplePath: *sample, support: *support, maxLHS: *maxLHS,
 		statePath: *state, fsync: *fsync, compactEvery: *compactEvery,
+		remineEvery: *remineEvery,
 	}
 	if *schema != "" {
 		for _, a := range strings.Split(*schema, ",") {
@@ -118,10 +134,24 @@ func main() {
 			sv.store.Dir(), cfg.fsync, cfg.compactEvery)
 	}
 
-	h := newServer(sv.eng, sv.store, cfg.compactEvery)
+	h := newServer(sv.eng, sv.store, cfg)
 	srv := &http.Server{Addr: cfg.addr, Handler: h.handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	h.baseCtx = ctx // bounds background remines at shutdown
+
+	// The loop runs remines synchronously on its own goroutine, so waiting
+	// for loopDone at shutdown covers an in-flight periodic remine.
+	loopDone := make(chan struct{})
+	if cfg.remineEvery > 0 {
+		fmt.Printf("cfdserve: remining every %s (support=%d, maxlhs=%d)\n", cfg.remineEvery, cfg.support, cfg.maxLHS)
+		go func() {
+			defer close(loopDone)
+			h.remineLoop(ctx, cfg.remineEvery)
+		}()
+	} else {
+		close(loopDone)
+	}
 
 	errCh := make(chan error, 1)
 	go func() {
@@ -143,23 +173,27 @@ func main() {
 			sv.close()
 			fatal(err)
 		}
-		// In-flight requests and background compactions are drained: fold
-		// the WAL into a final snapshot so the next start replays nothing.
-		h.drainCompactions()
+		// In-flight requests, background compactions and remines are
+		// drained: fold the WAL into a final snapshot so the next start
+		// replays nothing.
+		<-loopDone
+		h.drainBackground()
 		if err := sv.close(); err != nil {
 			fatal(err)
 		}
 	}
 }
 
-// discoverRules mines the serving rule set on the trusted sample; the
-// resulting set carries the discovery provenance, which GET /rules exposes.
-func discoverRules(sample *cfd.Relation, cfg config) (*rules.Set, error) {
+// discoverRules mines the serving rule set on the given relation (the
+// trusted startup sample, or the live tuples during a remine); the resulting
+// set carries the discovery provenance, which GET /rules exposes. A
+// cancelled ctx aborts the mining run promptly.
+func discoverRules(ctx context.Context, sample *cfd.Relation, cfg config) (*rules.Set, error) {
 	eng := discovery.NewEngine(discovery.AlgFastCFD, sample,
 		discovery.WithSupport(cfg.support),
 		discovery.WithMaxLHS(cfg.maxLHS),
 		discovery.WithWorkers(cfg.workers))
-	return eng.Run(context.Background())
+	return eng.Run(ctx)
 }
 
 func fatal(err error) {

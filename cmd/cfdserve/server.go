@@ -1,12 +1,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,28 +22,37 @@ import (
 )
 
 // server exposes the violation engine over HTTP. The engine itself is safe
-// for concurrent use — reads serve immutable epoch snapshots, mutations are
-// serialised and write-ahead logged internally — so the handlers hold no
-// lock of their own; the server only adds the persistence glue (compaction
-// scheduling against the attached Store).
+// for concurrent use — reads serve immutable epoch snapshots, mutations
+// (tuple ops and live rule swaps alike) are serialised and write-ahead
+// logged internally — so the handlers hold no lock of their own; the server
+// only adds the persistence glue (compaction scheduling against the attached
+// Store) and the rule lifecycle (PUT /rules uploads, background remining).
 type server struct {
 	eng          *violation.Engine
 	store        *violation.Store // nil when running memory-only
-	compactEvery int              // WAL ops between background compactions
+	cfg          config           // compaction cadence + remine discovery knobs
+	baseCtx      context.Context  // cancelled at shutdown; bounds background remines
 	compacting   atomic.Bool
-	compactWG    sync.WaitGroup
+	remining     atomic.Bool // CAS guard: at most one remine at a time
+	bg           sync.WaitGroup
 	started      time.Time
+	lastRemineMu sync.Mutex
+	lastRemine   *remineResult
 }
 
-func newServer(eng *violation.Engine, store *violation.Store, compactEvery int) *server {
-	return &server{eng: eng, store: store, compactEvery: compactEvery, started: time.Now()}
+func newServer(eng *violation.Engine, store *violation.Store, cfg config) *server {
+	return &server{eng: eng, store: store, cfg: cfg, started: time.Now()}
 }
 
-// handler builds the route table. All bodies and responses are JSON.
+// handler builds the route table. All bodies and responses are JSON (except
+// the PUT /rules request body, which is a rule file in either text or JSON
+// form).
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /health", s.health)
 	mux.HandleFunc("GET /rules", s.rules)
+	mux.HandleFunc("PUT /rules", s.putRules)
+	mux.HandleFunc("POST /rules/remine", s.remine)
 	mux.HandleFunc("GET /violations", s.violations)
 	mux.HandleFunc("GET /suspects", s.suspects)
 	mux.HandleFunc("POST /tuples", s.insert)
@@ -87,15 +99,15 @@ func pathID(r *http.Request) (int, error) {
 // work, so writers stall only for that capture, not for the decode or the
 // file write.
 func (s *server) maybeCompact() {
-	if s.store == nil || s.compactEvery <= 0 || s.store.Pending() < s.compactEvery {
+	if s.store == nil || s.cfg.compactEvery <= 0 || s.store.Pending() < s.cfg.compactEvery {
 		return
 	}
 	if !s.compacting.CompareAndSwap(false, true) {
 		return
 	}
-	s.compactWG.Add(1)
+	s.bg.Add(1)
 	go func() {
-		defer s.compactWG.Done()
+		defer s.bg.Done()
 		defer s.compacting.Store(false)
 		if err := s.store.Compact(s.eng); err != nil {
 			fmt.Fprintln(os.Stderr, "cfdserve: background compaction:", err)
@@ -103,10 +115,10 @@ func (s *server) maybeCompact() {
 	}()
 }
 
-// drainCompactions waits for an in-flight background compaction. Call it
-// after the HTTP server has drained (no handler can start a new one) and
-// before closing the store.
-func (s *server) drainCompactions() { s.compactWG.Wait() }
+// drainBackground waits for in-flight background work — compactions and
+// remine runs. Call it after the HTTP server has drained (no handler can
+// start new work) and before closing the store.
+func (s *server) drainBackground() { s.bg.Wait() }
 
 func (s *server) health(w http.ResponseWriter, _ *http.Request) {
 	out := map[string]any{
@@ -115,27 +127,214 @@ func (s *server) health(w http.ResponseWriter, _ *http.Request) {
 		"rules":  len(s.eng.Rules()),
 		// dirty is the O(rules) per-rule sum, an upper bound across
 		// overlapping rules; GET /violations has the exact set.
-		"dirty":  s.eng.DirtyCount(),
-		"epoch":  s.eng.Epoch(),
-		"uptime": time.Since(s.started).Round(time.Millisecond).String(),
+		"dirty":         s.eng.DirtyCount(),
+		"epoch":         s.eng.Epoch(),
+		"uptime":        time.Since(s.started).Round(time.Millisecond).String(),
+		"rules_version": s.eng.RulesVersion(),
 	}
 	if s.store != nil {
 		out["state_dir"] = s.store.Dir()
 		out["wal_pending"] = s.store.Pending()
 	}
+	s.lastRemineMu.Lock()
+	if s.lastRemine != nil {
+		out["last_remine"] = s.lastRemine
+	}
+	s.lastRemineMu.Unlock()
 	writeJSON(w, http.StatusOK, out)
 }
 
-// rules serves the engine's rule set as rules.Set JSON — the rules in set
-// order plus class counts, pattern tableaux and (when the set came from
-// discovery) its provenance — alongside the serving schema. The document
-// round-trips through rules.Parse, so a client can feed it straight back to
-// cfdserve -rules or cfdclean -rules.
-func (s *server) rules(w http.ResponseWriter, _ *http.Request) {
+// rules serves the engine's current rule set as rules.Set JSON — the rules
+// in set order plus class counts, pattern tableaux and (when the set came
+// from discovery or a remine) its provenance — alongside the serving schema
+// and the set's version fingerprint, which is also sent as the ETag. A
+// client that polls with If-None-Match sees 304 until a swap changes the
+// rules. The ruleset document round-trips through rules.Parse, so it feeds
+// straight back into cfdserve -rules, PUT /rules or cfdclean -rules.
+func (s *server) rules(w http.ResponseWriter, r *http.Request) {
+	// The 304 polling fast path costs only the cached digest, no set copy.
+	if match := r.Header.Get("If-None-Match"); match != "" {
+		if v := s.eng.RulesVersion(); strings.Contains(match, `"`+v+`"`) {
+			w.Header().Set("ETag", `"`+v+`"`)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	// One copy serves both the header and the body, so they cannot disagree
+	// even if a swap lands between them.
+	set := s.eng.RuleSet()
+	version := set.Fingerprint()
+	w.Header().Set("ETag", `"`+version+`"`)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"attributes": s.eng.Attributes(),
-		"ruleset":    s.eng.RuleSet(),
+		"ruleset":    set,
+		"version":    version,
 	})
+}
+
+// maxRulesBody bounds the PUT /rules request body (32 MiB is far above any
+// realistic rule file).
+const maxRulesBody = 32 << 20
+
+func ruleStrings(cfds []cfd.CFD) []string {
+	out := make([]string, len(cfds))
+	for i, c := range cfds {
+		out[i] = c.String()
+	}
+	return out
+}
+
+// putRules atomically swaps the served rule set for the uploaded rule file —
+// text (cfddiscover -o) or rules.Set JSON (GET /rules), sniffed — and
+// responds with the delta. The swap is write-ahead logged on a durable
+// server, so a crash right after the 200 still restarts under the new rules.
+func (s *server) putRules(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRulesBody+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	if len(body) > maxRulesBody {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("rule file exceeds %d bytes", maxRulesBody))
+		return
+	}
+	set, err := rules.Parse(string(body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	delta, err := s.eng.SwapRules(r.Context(), set)
+	if err != nil {
+		writeOpError(w, err)
+		return
+	}
+	s.maybeCompact()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"swapped": !delta.Unchanged(),
+		"version": delta.New,
+		"rules":   set.Len(),
+		"delta": map[string]any{
+			"summary":  delta.String(),
+			"added":    ruleStrings(delta.Added),
+			"removed":  ruleStrings(delta.Removed),
+			"retained": len(delta.Retained),
+		},
+	})
+}
+
+// remineResult records the outcome of one remine run; /health serves the
+// latest one.
+type remineResult struct {
+	At      time.Time `json:"at"`
+	Elapsed string    `json:"elapsed"`
+	Tuples  int       `json:"tuples"`
+	Swapped bool      `json:"swapped"`
+	Version string    `json:"version,omitempty"`
+	Delta   string    `json:"delta,omitempty"`
+	Error   string    `json:"error,omitempty"`
+}
+
+// remine re-runs rule discovery over the live relation and swaps the result
+// in — in the background by default (202, poll /health for last_remine), or
+// synchronously with ?wait=1 (200 with the result). A CAS guard, like the
+// compaction one, keeps at most one remine running; a concurrent request
+// gets 409. The swap is skipped when the mined fingerprint matches the
+// serving one, so a remine over unchanged data is a no-op.
+func (s *server) remine(w http.ResponseWriter, r *http.Request) {
+	if !s.remining.CompareAndSwap(false, true) {
+		writeError(w, http.StatusConflict, errors.New("a remine is already running"))
+		return
+	}
+	if wait, _ := strconv.ParseBool(r.URL.Query().Get("wait")); wait {
+		// Synchronous: cancelled when the client goes away.
+		writeJSON(w, http.StatusOK, s.remineOnce(r.Context()))
+		return
+	}
+	s.bg.Add(1)
+	go func() {
+		defer s.bg.Done()
+		// Background: cancelled at shutdown, so draining never waits out a
+		// long mining run.
+		s.remineOnce(s.shutdownCtx())
+	}()
+	writeJSON(w, http.StatusAccepted, map[string]any{"status": "remine started"})
+}
+
+// shutdownCtx returns the context background remines run under: the
+// server's base context (cancelled at shutdown), or Background when main
+// did not install one (tests).
+func (s *server) shutdownCtx() context.Context {
+	if s.baseCtx != nil {
+		return s.baseCtx
+	}
+	return context.Background()
+}
+
+// remineOnce runs one remine (the CAS flag must be held), records the result
+// for /health and releases the flag.
+func (s *server) remineOnce(ctx context.Context) remineResult {
+	defer s.remining.Store(false)
+	res := s.runRemine(ctx)
+	s.lastRemineMu.Lock()
+	s.lastRemine = &res
+	s.lastRemineMu.Unlock()
+	return res
+}
+
+func (s *server) runRemine(ctx context.Context) (res remineResult) {
+	start := time.Now()
+	res = remineResult{At: start}
+	defer func() { res.Elapsed = time.Since(start).Round(time.Millisecond).String() }()
+	rel, _, err := s.eng.Relation()
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	res.Tuples = rel.Size()
+	if rel.Size() == 0 {
+		// Mining nothing would swap in the empty rule set and silently stop
+		// checking anything; refuse instead.
+		res.Error = "no live tuples to mine rules from"
+		return res
+	}
+	set, err := discoverRules(ctx, rel, s.cfg)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	res.Version = set.Fingerprint()
+	if res.Version == s.eng.RulesVersion() {
+		return res // same rules: keep the serving set (and its indexes)
+	}
+	delta, err := s.eng.SwapRules(ctx, set)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	s.maybeCompact()
+	res.Swapped = true
+	res.Delta = delta.String()
+	fmt.Fprintf(os.Stderr, "cfdserve: remined %d tuples: %s\n", rel.Size(), delta)
+	return res
+}
+
+// remineLoop drives the -remine-every cadence: every tick starts a remine
+// unless one is already running. It exits when ctx is cancelled (shutdown),
+// and the tick's run is cancelled by the same context, so shutdown never
+// waits out a long mining run.
+func (s *server) remineLoop(ctx context.Context, every time.Duration) {
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			if s.remining.CompareAndSwap(false, true) {
+				s.remineOnce(ctx)
+			}
+		}
+	}
 }
 
 type violationJSON struct {
@@ -406,7 +605,7 @@ func loadEngine(cfg config) (*violation.Engine, error) {
 		}
 	case sampleRel != nil:
 		var err error
-		set, err = discoverRules(sampleRel, cfg)
+		set, err = discoverRules(context.Background(), sampleRel, cfg)
 		if err != nil {
 			return nil, err
 		}

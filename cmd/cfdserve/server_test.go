@@ -25,7 +25,7 @@ func newTestServer(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(eng, nil, 0).handler())
+	ts := httptest.NewServer(newServer(eng, nil, config{support: 2, maxLHS: 2}).handler())
 	t.Cleanup(ts.Close)
 	return ts
 }

@@ -120,7 +120,7 @@ func TestStateRestart(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			ts := httptest.NewServer(newServer(sv.eng, sv.store, 4096).handler())
+			ts := httptest.NewServer(newServer(sv.eng, sv.store, config{compactEvery: 4096}).handler())
 			mutate(t, ts.URL)
 			want := getRaw(t, ts.URL+"/violations")
 			wantRules := getRaw(t, ts.URL+"/rules")
@@ -149,7 +149,7 @@ func TestStateRestart(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer sv2.close()
-			ts2 := httptest.NewServer(newServer(sv2.eng, sv2.store, 4096).handler())
+			ts2 := httptest.NewServer(newServer(sv2.eng, sv2.store, config{compactEvery: 4096}).handler())
 			defer ts2.Close()
 			if got := getRaw(t, ts2.URL+"/violations"); !bytes.Equal(got, want) {
 				t.Fatalf("restarted /violations differs:\n%s\nvs\n%s", got, want)
@@ -177,7 +177,7 @@ func TestStateBackgroundCompaction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := newServer(sv.eng, sv.store, cfg.compactEvery)
+	h := newServer(sv.eng, sv.store, cfg)
 	ts := httptest.NewServer(h.handler())
 	for i := 0; i < 20; i++ {
 		row := []string{"01", "212", fmt.Sprintf("%07d", i), "Ann", "5th Ave", "NYC", "01202"}
@@ -186,7 +186,7 @@ func TestStateBackgroundCompaction(t *testing.T) {
 	}
 	want := getRaw(t, ts.URL+"/violations")
 	ts.Close()
-	h.drainCompactions()
+	h.drainBackground()
 	if err := sv.store.Close(); err != nil { // crash path
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestStateBackgroundCompaction(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sv2.close()
-	ts2 := httptest.NewServer(newServer(sv2.eng, sv2.store, 4096).handler())
+	ts2 := httptest.NewServer(newServer(sv2.eng, sv2.store, config{compactEvery: 4096}).handler())
 	defer ts2.Close()
 	if got := getRaw(t, ts2.URL+"/violations"); !bytes.Equal(got, want) {
 		t.Fatal("state diverged across background compactions")
@@ -215,8 +215,8 @@ func TestConcurrentHandlers(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sv.close()
-	h := newServer(sv.eng, sv.store, cfg.compactEvery)
-	defer h.drainCompactions()
+	h := newServer(sv.eng, sv.store, cfg)
+	defer h.drainBackground()
 	ts := httptest.NewServer(h.handler())
 	defer ts.Close()
 

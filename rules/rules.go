@@ -47,6 +47,9 @@ type Set struct {
 
 	tableauOnce sync.Once
 	tableaux    []cfd.TableauCFD
+
+	fpOnce sync.Once
+	fp     string // canonical content fingerprint, see Fingerprint
 }
 
 // New builds a Set from the given rules and provenance. The slice is copied.

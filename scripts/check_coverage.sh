@@ -1,0 +1,21 @@
+#!/bin/sh
+# Coverage floor check, run by `make cover` and the CI coverage job:
+# fails when the total statement coverage of a profile drops below the
+# ratcheted floor recorded in the Makefile.
+#
+# Usage: check_coverage.sh <profile> <floor-percent> <name>
+set -eu
+
+profile=$1
+floor=$2
+name=$3
+
+total="$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $NF); print $NF }')"
+[ -n "$total" ] || { echo "coverage: FAIL: no total in $profile" >&2; exit 1; }
+
+if ! awk -v t="$total" -v f="$floor" 'BEGIN { exit (t >= f) ? 0 : 1 }'; then
+	echo "coverage: FAIL: $name at $total%, below the ratcheted floor of $floor%" >&2
+	echo "coverage: add tests (or, if statements were deliberately removed, re-ratchet the floor in the Makefile)" >&2
+	exit 1
+fi
+echo "coverage: $name $total% (floor $floor%)"

@@ -86,7 +86,28 @@ batch="$(curl -fs -X POST "$BASE/batch" \
 	]}')"
 echo "$batch" | tr -d ' \n' | grep -q '"ids":\[8,9\]' || fail "unexpected batch response $batch"
 
+# Hot-swap the rule set: keep the street FD, drop the constant city rule,
+# add a fresh name->phone FD. The swap is atomic and write-ahead logged.
+RULEFILE="$(mktemp)"
+cat > "$RULEFILE" <<'EOF'
+([CC,ZIP] -> STR, (_, _ || _))
+([NM] -> PN, (_ || _))
+EOF
+version_before="$(curl -fs "$BASE/health" | tr -d ' ' | sed -n 's/.*"rules_version":"\([^"]*\)".*/\1/p')"
+swap="$(curl -fs -X PUT "$BASE/rules" --data-binary @"$RULEFILE")"
+echo "$swap" | tr -d ' \n' | grep -q '"swapped":true' || fail "unexpected swap response $swap"
+echo "$swap" | tr -d ' \n' | grep -q '"retained":1' || fail "swap should retain the street FD: $swap"
+version_after="$(curl -fs "$BASE/health" | tr -d ' ' | sed -n 's/.*"rules_version":"\([^"]*\)".*/\1/p')"
+[ "$version_before" != "$version_after" ] || fail "rules_version did not move on swap"
+
+# A second mutation after the swap, so replay crosses the swap record.
+curl -fs -X POST "$BASE/tuples" \
+	-H 'Content-Type: application/json' \
+	-d '{"values":["01","908","3333333","Zoe","Tree Ave.","MH","07974"]}' >/dev/null \
+	|| fail "insert after swap failed"
+
 before="$(curl -fs "$BASE/violations")"
+rules_before="$(curl -fs "$BASE/rules")"
 
 # Kill hard (no graceful shutdown): recovery must come from snapshot + WAL.
 kill -KILL "$PID"
@@ -109,11 +130,21 @@ $before
 --- after ---
 $after"
 
+# The restart came back under the swapped-in rule set, byte for byte.
+rules_after="$(curl -fs "$BASE/rules")"
+[ "$rules_before" = "$rules_after" ] || fail "restarted /rules differs:
+--- before ---
+$rules_before
+--- after ---
+$rules_after"
+restart_version="$(curl -fs "$BASE/health" | tr -d ' ' | sed -n 's/.*"rules_version":"\([^"]*\)".*/\1/p')"
+[ "$restart_version" = "$version_after" ] || fail "rules_version regressed across restart: $restart_version != $version_after"
+
 # Ids keep counting from where the killed process stopped.
 post="$(curl -fs -X POST "$BASE/tuples" \
 	-H 'Content-Type: application/json' \
 	-d '{"values":["01","908","1111111","Zoe","Tree Ave.","MH","07974"]}')"
-echo "$post" | tr -d ' \n' | grep -q '"ids":\[10\]' || fail "id sequence lost across restart: $post"
+echo "$post" | tr -d ' \n' | grep -q '"ids":\[11\]' || fail "id sequence lost across restart: $post"
 
 kill -TERM "$PID"
 wait "$PID" || fail "durable server did not exit cleanly on SIGTERM"

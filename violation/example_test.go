@@ -1,6 +1,7 @@
 package violation_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -104,4 +105,40 @@ func ExampleStore() {
 	// Output:
 	// restored: true
 	// tuples: 7 dirty: []
+}
+
+// ExampleEngine_SwapRules hot-swaps the served rule set while the tuples
+// stay put: retained rules keep their indexes, added rules are indexed over
+// the live tuples, and the returned delta says what changed.
+func ExampleEngine_SwapRules() {
+	rel := dataset.Cust()
+	eng, err := violation.New(rel.Attributes(),
+		rules.Of(
+			cfd.CFD{LHS: []string{"AC"}, RHS: "CT", LHSPattern: []string{"131"}, RHSPattern: "EDI"},
+			cfd.NewFD([]string{"CC", "ZIP"}, "STR"),
+		),
+		violation.Options{})
+	if err != nil {
+		panic(err)
+	}
+	if err := eng.BulkLoad(rel); err != nil {
+		panic(err)
+	}
+	fmt.Println("dirty before swap:", eng.Dirty())
+
+	// Re-discovered rules arrive: the constant city rule is gone, a
+	// name->phone FD is new, the street FD is retained.
+	delta, err := eng.SwapRules(context.Background(), rules.Of(
+		cfd.NewFD([]string{"CC", "ZIP"}, "STR"),
+		cfd.NewFD([]string{"NM"}, "PN"),
+	))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("swap: +%d -%d =%d\n", len(delta.Added), len(delta.Removed), len(delta.Retained))
+	fmt.Println("dirty after swap:", eng.Dirty())
+	// Output:
+	// dirty before swap: [0 1 2 3 4 5 7]
+	// swap: +1 -1 =1
+	// dirty after swap: [0 1 2 3 7]
 }

@@ -1,0 +1,246 @@
+package violation_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"sort"
+	"strconv"
+	"testing"
+
+	"repro/cfd"
+	"repro/rules"
+	"repro/violation"
+)
+
+// oracleModel is the naive reference the engine is checked against after
+// every step: the live tuples by id, re-scanned in full through the batch
+// detector (cfd.Relation.Violations via naiveDetect) under whatever rule set
+// is current.
+type oracleModel struct {
+	rows   map[int][]string
+	nextID int
+	set    *rules.Set
+}
+
+func (m *oracleModel) liveIDs() []int {
+	ids := make([]int, 0, len(m.rows))
+	for id := range m.rows {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// expected runs the full rescan: one violation entry per violated rule in
+// set order, tuples as ascending engine ids.
+func (m *oracleModel) expected(t *testing.T, attrs []string) ([]violation.Violation, []int) {
+	t.Helper()
+	ids := m.liveIDs()
+	rowList := make([][]string, len(ids))
+	for i, id := range ids {
+		rowList[i] = m.rows[id]
+	}
+	rel, err := cfd.FromRows(attrs, rowList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viols := naiveDetect(t, rel, m.set.CFDs())
+	dirty := make(map[int]bool)
+	for vi := range viols {
+		for ti, tu := range viols[vi].Tuples {
+			viols[vi].Tuples[ti] = ids[tu]
+			dirty[ids[tu]] = true
+		}
+	}
+	union := make([]int, 0, len(dirty))
+	for id := range dirty {
+		union = append(union, id)
+	}
+	sort.Ints(union)
+	return viols, union
+}
+
+// oracleRulePool returns the candidate rule sets a swap step picks from:
+// hand-built subsets of the mixed fixture rules plus sets with rules the
+// engine has never seen (forcing fresh index builds over the live tuples).
+func oracleRulePool(t *testing.T) []*rules.Set {
+	t.Helper()
+	full := fixtures(t)[0].rules
+	extra := []cfd.CFD{
+		cfd.NewFD([]string{"NM"}, "PN"),
+		{LHS: []string{"CT"}, RHS: "CC", LHSPattern: []string{"C1"}, RHSPattern: "0"},
+		{LHS: []string{"STR", "CT"}, RHS: "ZIP", LHSPattern: []string{"_", "_"}, RHSPattern: "_"},
+	}
+	return []*rules.Set{
+		rules.Of(full...),
+		rules.Of(full[:3]...),
+		rules.Of(full[3:]...),
+		rules.Of(append(append([]cfd.CFD(nil), extra...), full[1])...),
+		rules.Of(extra[0], extra[1]),
+		rules.Of(), // serve no rules at all for a while
+	}
+}
+
+// oracleStep applies one random op (insert / delete / update / batch / swap)
+// to both the engine and the model. It returns a description for failure
+// messages.
+func oracleStep(t *testing.T, rng *rand.Rand, eng *violation.Engine, m *oracleModel, pool []*rules.Set) string {
+	t.Helper()
+	row := func() []string {
+		return []string{
+			strconv.Itoa(rng.Intn(3)), strconv.Itoa(rng.Intn(4)), strconv.Itoa(rng.Intn(5)),
+			"N" + strconv.Itoa(rng.Intn(6)), "S" + strconv.Itoa(rng.Intn(4)),
+			"C" + strconv.Itoa(rng.Intn(3)), "Z" + strconv.Itoa(rng.Intn(4)),
+		}
+	}
+	live := m.liveIDs()
+	switch k := rng.Intn(20); {
+	case k < 7 || len(live) == 0: // insert
+		values := row()
+		id, err := eng.Insert(values...)
+		if err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+		if id != m.nextID {
+			t.Fatalf("insert assigned id %d, model expects %d", id, m.nextID)
+		}
+		m.rows[id] = values
+		m.nextID++
+		return fmt.Sprintf("insert -> id %d", id)
+	case k < 10: // delete
+		id := live[rng.Intn(len(live))]
+		if err := eng.Delete(id); err != nil {
+			t.Fatalf("delete %d: %v", id, err)
+		}
+		delete(m.rows, id)
+		return fmt.Sprintf("delete %d", id)
+	case k < 13: // update
+		id := live[rng.Intn(len(live))]
+		values := row()
+		if err := eng.Update(id, values...); err != nil {
+			t.Fatalf("update %d: %v", id, err)
+		}
+		m.rows[id] = values
+		return fmt.Sprintf("update %d", id)
+	case k < 16: // atomic batch, including intra-batch id references
+		ops := randomOps(rng, 1+rng.Intn(8), live, m.nextID)
+		if _, err := eng.ApplyBatch(ops); err != nil {
+			t.Fatalf("batch: %v", err)
+		}
+		for _, op := range ops {
+			switch op.Kind {
+			case violation.OpInsert:
+				m.rows[m.nextID] = op.Values
+				m.nextID++
+			case violation.OpDelete:
+				delete(m.rows, op.ID)
+			case violation.OpUpdate:
+				m.rows[op.ID] = op.Values
+			}
+		}
+		return fmt.Sprintf("batch of %d ops", len(ops))
+	default: // live rule swap
+		set := pool[rng.Intn(len(pool))]
+		delta, err := eng.SwapRules(context.Background(), set)
+		if err != nil {
+			t.Fatalf("swap: %v", err)
+		}
+		if len(delta.Added)+len(delta.Retained) != set.Len() {
+			t.Fatalf("swap delta %v does not cover the new set", delta)
+		}
+		m.set = set
+		return fmt.Sprintf("swap to %d rules (%s)", set.Len(), delta)
+	}
+}
+
+// TestRandomizedOracle drives seeded random op sequences — inserts, deletes,
+// updates, atomic batches and live rule swaps — and after every step checks
+// the engine's full report against a naive full-rescan oracle over the
+// model's live tuples. Under `make race` this doubles as the lifecycle
+// stress for the swap path. Reproduce a failure by its seed:
+//
+//	go test ./violation -run 'TestRandomizedOracle/seed=7'
+//
+// or point CFD_ORACLE_SEED at any seed to add it to the table.
+func TestRandomizedOracle(t *testing.T) {
+	seeds := []int64{1, 7, 23, 42}
+	if s := os.Getenv("CFD_ORACLE_SEED"); s != "" {
+		extra, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("CFD_ORACLE_SEED=%q: %v", s, err)
+		}
+		seeds = append(seeds, extra)
+	}
+	steps := 140
+	if testing.Short() {
+		steps = 40
+	}
+	pool := oracleRulePool(t)
+	fx := fixtures(t)[0]
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			startSet := pool[0]
+			eng, err := violation.New(fx.rel.Attributes(), startSet, violation.Options{Shards: 1 + int(seed%4)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.BulkLoad(fx.rel); err != nil {
+				t.Fatal(err)
+			}
+			m := &oracleModel{rows: make(map[int][]string), nextID: fx.rel.Size(), set: startSet}
+			for i := 0; i < fx.rel.Size(); i++ {
+				m.rows[i] = fx.rel.Row(i)
+			}
+			for step := 0; step < steps; step++ {
+				desc := oracleStep(t, rng, eng, m, pool)
+				wantViols, wantDirty := m.expected(t, fx.rel.Attributes())
+				rep := eng.Report()
+				if rep.RulesChecked != m.set.Len() {
+					t.Fatalf("seed %d step %d (%s): engine checks %d rules, oracle %d",
+						seed, step, desc, rep.RulesChecked, m.set.Len())
+				}
+				gotDirty := rep.DirtyTuples
+				if len(gotDirty) == 0 {
+					gotDirty = nil
+				}
+				if len(wantDirty) == 0 {
+					wantDirty = nil
+				}
+				if !reflect.DeepEqual(gotDirty, wantDirty) {
+					t.Fatalf("seed %d step %d (%s): dirty set\nengine: %v\noracle: %v",
+						seed, step, desc, gotDirty, wantDirty)
+				}
+				if !violationsEqual(rep.Violations, wantViols) {
+					t.Fatalf("seed %d step %d (%s): violations\nengine: %v\noracle: %v",
+						seed, step, desc, rep.Violations, wantViols)
+				}
+				if eng.Size() != len(m.rows) {
+					t.Fatalf("seed %d step %d (%s): engine size %d, oracle %d",
+						seed, step, desc, eng.Size(), len(m.rows))
+				}
+			}
+		})
+	}
+}
+
+// violationsEqual compares per-rule violation lists rule by rule, tolerating
+// nil-vs-empty slices.
+func violationsEqual(got, want []violation.Violation) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if !got[i].Rule.Equal(want[i].Rule) {
+			return false
+		}
+		if !reflect.DeepEqual(got[i].Tuples, want[i].Tuples) {
+			return false
+		}
+	}
+	return true
+}

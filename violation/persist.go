@@ -64,10 +64,22 @@ type StoreOptions struct {
 	Sync bool
 }
 
-// walRecord is one committed mutation on the wire.
+// walRecord is one committed mutation on the wire: either a batch of tuple
+// ops ({"seq":N,"ops":[...]}) or a rule swap carrying the full replacement
+// rule set ({"seq":N,"rules":{...}}), never both.
 type walRecord struct {
-	Seq uint64 `json:"seq"`
-	Ops []Op   `json:"ops"`
+	Seq   uint64     `json:"seq"`
+	Ops   []Op       `json:"ops,omitempty"`
+	Rules *rules.Set `json:"rules,omitempty"`
+}
+
+// cost is the record's weight towards the compaction backlog: one per tuple
+// op, and one for a rule swap.
+func (rec walRecord) cost() int {
+	if rec.Rules != nil {
+		return 1
+	}
+	return len(rec.Ops)
 }
 
 // snapshotFile is the compacted state on the wire.
@@ -170,7 +182,7 @@ func (st *Store) scanWAL() error {
 		if rec.Seq > st.seq {
 			st.seq = rec.Seq
 		}
-		st.pending += len(rec.Ops)
+		st.pending += rec.cost()
 	})
 	if err != nil {
 		return err
@@ -191,9 +203,25 @@ func (st *Store) scanWAL() error {
 // and either lands completely or, on error, leaves the log truncated back to
 // the previous record boundary.
 func (st *Store) Append(ops []Op) error {
+	return st.commit(walRecord{Ops: ops})
+}
+
+// AppendRules commits one rule-swap record to the log — the RuleCommitLog
+// hook Engine.SwapRules calls under its write lock. The record carries the
+// full replacement rule set, so replay restores whatever set was current,
+// however many swaps preceded the crash.
+func (st *Store) AppendRules(set *rules.Set) error {
+	return st.commit(walRecord{Rules: set})
+}
+
+// commit appends one record (its Seq is assigned here) with the usual
+// all-or-nothing contract: on any error the log is truncated back to the
+// previous record boundary.
+func (st *Store) commit(rec walRecord) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	line, err := json.Marshal(walRecord{Seq: st.seq + 1, Ops: ops})
+	rec.Seq = st.seq + 1
+	line, err := json.Marshal(rec)
 	if err != nil {
 		return err
 	}
@@ -213,7 +241,7 @@ func (st *Store) Append(ops []Op) error {
 	}
 	st.walOff += int64(len(line))
 	st.seq++
-	st.pending += len(ops)
+	st.pending += rec.cost()
 	return nil
 }
 
@@ -254,6 +282,12 @@ func (st *Store) replay(e *Engine) error {
 	_, err := st.readRecords(func(rec walRecord) {
 		if applyErr != nil || rec.Seq <= st.snapSeq {
 			return // failed already, or folded into the snapshot
+		}
+		if rec.Rules != nil {
+			if _, err := e.SwapRules(context.Background(), rec.Rules); err != nil {
+				applyErr = fmt.Errorf("violation: replaying %s rule swap %d: %w", walName, rec.Seq, err)
+			}
+			return
 		}
 		if _, err := e.ApplyBatch(rec.Ops); err != nil {
 			applyErr = fmt.Errorf("violation: replaying %s record %d: %w", walName, rec.Seq, err)
@@ -399,7 +433,7 @@ func (st *Store) rewriteTailLocked(keepAbove uint64) error {
 			writeErr = err
 			return
 		}
-		tail += len(rec.Ops)
+		tail += rec.cost()
 	}); err != nil {
 		tmp.Close()
 		return err

@@ -1,6 +1,7 @@
 package violation_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -9,6 +10,8 @@ import (
 	"strings"
 	"testing"
 
+	"repro/cfd"
+	"repro/rules"
 	"repro/violation"
 )
 
@@ -256,6 +259,177 @@ func TestStoreTornTailMissingNewline(t *testing.T) {
 	}
 	back2 := reload(t, dir)
 	assertSameState(t, back, back2)
+}
+
+// swapSet is the replacement rule set the lifecycle tests swap to: it keeps
+// the street FD, drops everything else and adds a rule the engine has never
+// indexed.
+func swapSet() *rules.Set {
+	return rules.Of(
+		cfd.NewFD([]string{"CC", "ZIP"}, "STR"),
+		cfd.NewFD([]string{"NM"}, "PN"),
+	)
+}
+
+// assertSameRules compares the rule sets two engines serve, content and
+// order.
+func assertSameRules(t *testing.T, a, b *violation.Engine) {
+	t.Helper()
+	sa, sb := a.RuleSet(), b.RuleSet()
+	if sa.Fingerprint() != sb.Fingerprint() {
+		t.Fatalf("rule fingerprints differ: %s vs %s", sa.Fingerprint(), sb.Fingerprint())
+	}
+	if !reflect.DeepEqual(sa.CFDs(), sb.CFDs()) {
+		t.Fatalf("rule sets differ:\n%v\nvs\n%v", sa.CFDs(), sb.CFDs())
+	}
+}
+
+// TestStoreSwapReplay: a rule swap is journaled as a WAL record; a crash
+// right after it (no compaction) must replay into the swapped rule set, and
+// ops logged on either side of the swap must replay under the rule set that
+// was current when they were applied.
+func TestStoreSwapReplay(t *testing.T) {
+	dir := t.TempDir()
+	eng, st := durableEngine(t, dir, violation.StoreOptions{})
+	if _, err := eng.Insert("44", "131", "5555555", "Amy", "High St.", "GLA", "EH4 1DT"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.SwapRules(context.Background(), swapSet()); err != nil {
+		t.Fatal(err)
+	}
+	// Mutations after the swap are maintained under the new rules.
+	if _, err := eng.Insert("01", "212", "1234567", "Ann", "Other St.", "NYC", "01202"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil { // crash: no final compaction
+		t.Fatal(err)
+	}
+	back := reload(t, dir)
+	assertSameState(t, eng, back)
+	assertSameRules(t, eng, back)
+}
+
+// TestStoreSwapThenCompact: compaction after a swap folds the swap into the
+// snapshot (the snapshot carries the rule set); the WAL empties and a reload
+// must come back under the new rules without replaying anything.
+func TestStoreSwapThenCompact(t *testing.T) {
+	dir := t.TempDir()
+	eng, st := durableEngine(t, dir, violation.StoreOptions{})
+	if _, err := eng.SwapRules(context.Background(), swapSet()); err != nil {
+		t.Fatal(err)
+	}
+	if st.Pending() != 1 {
+		t.Fatalf("pending = %d after a swap, want 1", st.Pending())
+	}
+	if err := st.Compact(eng); err != nil {
+		t.Fatal(err)
+	}
+	wal := filepath.Join(dir, "wal.jsonl")
+	if data, err := os.ReadFile(wal); err != nil || len(data) != 0 {
+		t.Fatalf("wal after post-swap compaction: %d bytes, err=%v", len(data), err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back := reload(t, dir)
+	assertSameState(t, eng, back)
+	assertSameRules(t, eng, back)
+}
+
+// TestStoreSwapAfterCompact: the swap record lands above the snapshot's
+// sequence, so replay must apply it — the restart window of a kill right
+// after a swap that followed a compaction.
+func TestStoreSwapAfterCompact(t *testing.T) {
+	dir := t.TempDir()
+	eng, st := durableEngine(t, dir, violation.StoreOptions{})
+	if _, err := eng.Insert("44", "131", "5555555", "Amy", "High St.", "GLA", "EH4 1DT"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Compact(eng); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.SwapRules(context.Background(), swapSet()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back := reload(t, dir)
+	assertSameState(t, eng, back)
+	assertSameRules(t, eng, back)
+}
+
+// TestStoreStaleSwapRecordSkipped: a crash between snapshot rename and WAL
+// truncation can leave an already-folded swap record in the log; replay must
+// skip it by sequence number instead of re-applying it over newer rules.
+func TestStoreStaleSwapRecordSkipped(t *testing.T) {
+	dir := t.TempDir()
+	eng, st := durableEngine(t, dir, violation.StoreOptions{})
+	if _, err := eng.SwapRules(context.Background(), swapSet()); err != nil {
+		t.Fatal(err)
+	}
+	wal := filepath.Join(dir, "wal.jsonl")
+	logged, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Compact(eng); err != nil {
+		t.Fatal(err)
+	}
+	// Swap once more, so a replayed stale record would visibly regress.
+	final := rules.Of(cfd.NewFD([]string{"NM"}, "PN"))
+	if _, err := eng.SwapRules(context.Background(), final); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Resurrect the folded swap record below the fresh tail, as if the
+	// compaction's truncation never happened.
+	tail, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wal, append(logged, tail...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back := reload(t, dir)
+	assertSameState(t, eng, back)
+	assertSameRules(t, eng, back)
+	if got := back.RuleSet().Fingerprint(); got != final.Fingerprint() {
+		t.Fatalf("stale swap record replayed: serving %s, want %s", got, final.Fingerprint())
+	}
+}
+
+// TestStoreTornSwapRecord: a crash mid-append of a swap record leaves a torn
+// tail; recovery truncates it and serves the pre-swap rule set — the swap
+// never committed.
+func TestStoreTornSwapRecord(t *testing.T) {
+	dir := t.TempDir()
+	eng, st := durableEngine(t, dir, violation.StoreOptions{})
+	if _, err := eng.Insert("44", "131", "5555555", "Amy", "High St.", "GLA", "EH4 1DT"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wal := filepath.Join(dir, "wal.jsonl")
+	f, err := os.OpenFile(wal, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":2,"rules":{"rules":["([NM] -`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back := reload(t, dir)
+	assertSameState(t, eng, back)
+	assertSameRules(t, eng, back)
 }
 
 // TestStoreEmpty: a fresh directory has no state; a WAL without a snapshot is

@@ -1,0 +1,100 @@
+package violation
+
+import (
+	"context"
+	"fmt"
+
+	"repro/cfd"
+	"repro/internal/core"
+	"repro/internal/pool"
+	"repro/rules"
+)
+
+// RuleCommitLog is the optional extension of CommitLog a write-ahead log must
+// implement for the engine to accept live rule swaps: AppendRules journals
+// the full replacement rule set as one record, so replay restores the rule
+// set that was current at the crash, not the one the process booted with.
+// *Store implements it.
+type RuleCommitLog interface {
+	CommitLog
+	AppendRules(set *rules.Set) error
+}
+
+// SwapRules atomically replaces the engine's rule set with set (nil swaps to
+// an empty set) and returns the rules.Diff between the old and new sets. The
+// tuples are untouched. Under the write lock, indexes of retained rules are
+// reused as they are, indexes for added rules are built over the live tuples
+// — fanned out across the added rules on repro/internal/pool — and removed
+// rules are dropped; the shard partition is recomputed and the snapshot
+// epoch bumped, so a reader either sees the complete old state or the
+// complete new one, never a half-swapped set.
+//
+// With a write-ahead log attached the swap is journaled (as a rule record,
+// see RuleCommitLog) before it is applied; a log that does not implement
+// RuleCommitLog, or whose append fails, rejects the swap with ErrWAL and
+// leaves the engine unchanged. A cancelled ctx aborts the index build for
+// added rules and likewise leaves the engine unchanged.
+func (e *Engine) SwapRules(ctx context.Context, set *rules.Set) (rules.Delta, error) {
+	if set == nil {
+		set = rules.Of()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delta := rules.Diff(e.set, set)
+
+	// Match new rules against the current indexes by canonical rule key;
+	// duplicates are consumed pairwise, exactly as rules.Diff counts them.
+	avail := make(map[string][]int, len(e.rules))
+	for i, r := range e.rules {
+		k := r.Normalize().String()
+		avail[k] = append(avail[k], i)
+	}
+	newRules := append([]cfd.CFD(nil), set.CFDs()...)
+	newIndexes := make([]*core.RuleIndex, len(newRules))
+	var fresh []int // positions of added rules, whose indexes must be built
+	for i, r := range newRules {
+		k := r.Normalize().String()
+		if q := avail[k]; len(q) > 0 {
+			newIndexes[i] = e.indexes[q[0]]
+			avail[k] = q[1:]
+			continue
+		}
+		ix, err := e.compileRule(r)
+		if err != nil {
+			return rules.Delta{}, err
+		}
+		newIndexes[i] = ix
+		fresh = append(fresh, i)
+	}
+	// Build the indexes of added rules over the live rows before anything is
+	// committed: the fresh indexes are private until the final assignment, so
+	// an error (or a cancelled context) discards them with no state change.
+	if len(fresh) > 0 {
+		if err := pool.Each(ctx, e.workers, len(fresh), func(_, j int) {
+			ix := newIndexes[fresh[j]]
+			for id, row := range e.rows {
+				if row != nil {
+					ix.Insert(id, row)
+				}
+			}
+		}); err != nil {
+			return rules.Delta{}, err
+		}
+	}
+	// Journal the swap before applying it, like every other mutation.
+	if e.wal != nil {
+		rl, ok := e.wal.(RuleCommitLog)
+		if !ok {
+			return rules.Delta{}, fmt.Errorf("violation: %w: attached commit log %T cannot journal rule swaps", ErrWAL, e.wal)
+		}
+		if err := rl.AppendRules(set); err != nil {
+			return rules.Delta{}, fmt.Errorf("violation: %w: %w", ErrWAL, err)
+		}
+	}
+	e.set = set
+	e.rules = newRules
+	e.indexes = newIndexes
+	e.shards = shardIndexes(len(newIndexes), e.shardOpt, e.workers)
+	e.epoch.Add(1)
+	return delta, nil
+}

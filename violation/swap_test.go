@@ -1,0 +1,287 @@
+package violation_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/cfd"
+	"repro/rules"
+	"repro/violation"
+)
+
+// swapEquivalent builds a fresh engine over the same tuples and the target
+// rule set — the state SwapRules must land in exactly.
+func swapEquivalent(t *testing.T, eng *violation.Engine, set *rules.Set) *violation.Engine {
+	t.Helper()
+	rel, ids, err := eng.Relation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := violation.New(eng.Attributes(), set, violation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Engine ids must line up: replay the live tuples at their original ids
+	// via inserts and deletes of filler tuples.
+	next := 0
+	for i, id := range ids {
+		for next < id {
+			fid, err := fresh.Insert(rel.Row(i)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.Delete(fid); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		if _, err := fresh.Insert(rel.Row(i)...); err != nil {
+			t.Fatal(err)
+		}
+		next++
+	}
+	return fresh
+}
+
+// TestSwapRulesMatchesRebuild is the defining check: swapping to a new set
+// must land the engine in exactly the state of an engine built from scratch
+// over the same tuples and the new rules — retained indexes reused or not.
+func TestSwapRulesMatchesRebuild(t *testing.T) {
+	fx := fixtures(t)[0]
+	full := fx.rules
+	targets := []struct {
+		name string
+		set  *rules.Set
+	}{
+		{"drop-half", rules.Of(full[:3]...)},
+		{"disjoint", rules.Of(
+			cfd.NewFD([]string{"PN"}, "NM"),
+			cfd.CFD{LHS: []string{"CT"}, RHS: "CC", LHSPattern: []string{"NYC"}, RHSPattern: "01"},
+		)},
+		{"reorder-and-add", rules.Of(append([]cfd.CFD{
+			cfd.NewFD([]string{"NM"}, "PN"),
+		}, full[1], full[0])...)},
+		{"empty", rules.Of()},
+		{"identical", rules.Of(full...)},
+	}
+	for _, tc := range targets {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, shards := range []int{1, 3} {
+				eng := custEngine(t, true, violation.Options{Shards: shards})
+				old := eng.RuleSet()
+				delta, err := eng.SwapRules(context.Background(), tc.set)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if delta.Old != old.Fingerprint() || delta.New != tc.set.Fingerprint() {
+					t.Fatalf("delta versions %s -> %s, want %s -> %s", delta.Old, delta.New, old.Fingerprint(), tc.set.Fingerprint())
+				}
+				if len(delta.Added)+len(delta.Retained) != tc.set.Len() {
+					t.Fatalf("delta %v does not cover the new set", delta)
+				}
+				if len(delta.Removed)+len(delta.Retained) != old.Len() {
+					t.Fatalf("delta %v does not cover the old set", delta)
+				}
+				assertSameState(t, eng, swapEquivalent(t, eng, tc.set))
+				if !reflect.DeepEqual(eng.Rules(), tc.set.CFDs()) {
+					t.Fatalf("engine rules %v, want %v", eng.Rules(), tc.set.CFDs())
+				}
+				if got := eng.RuleSet().Fingerprint(); got != tc.set.Fingerprint() {
+					t.Fatalf("served fingerprint %s, want %s", got, tc.set.Fingerprint())
+				}
+			}
+		})
+	}
+}
+
+// TestSwapRulesKeepsMutating: after a swap the engine keeps accepting
+// mutations, maintained under the new rules only.
+func TestSwapRulesKeepsMutating(t *testing.T) {
+	eng := custEngine(t, true, violation.Options{})
+	set := rules.Of(cfd.NewFD([]string{"CC", "ZIP"}, "STR"))
+	if _, err := eng.SwapRules(context.Background(), set); err != nil {
+		t.Fatal(err)
+	}
+	// A tuple violating only the dropped constant rule must stay clean…
+	id, err := eng.Insert("99", "131", "0000000", "Nic", "Canal St.", "AMS", "1011")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violated, err := eng.TupleViolations(id); err != nil || len(violated) != 0 {
+		t.Fatalf("tuple %d violates %v under the swapped set, want none", id, violated)
+	}
+	// …while a street split under the retained FD is still caught.
+	id2, err := eng.Insert("01", "212", "1234567", "Ann", "Other St.", "NYC", "01202")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violated, err := eng.TupleViolations(id2); err != nil || len(violated) != 1 {
+		t.Fatalf("tuple %d violates %v, want the retained FD", id2, violated)
+	}
+	assertSameState(t, eng, swapEquivalent(t, eng, set))
+}
+
+// TestSwapRulesEpochAndSnapshot: a swap invalidates the cached reader
+// snapshot like any other mutation.
+func TestSwapRulesEpochAndSnapshot(t *testing.T) {
+	eng := custEngine(t, true, violation.Options{})
+	before := eng.Report()
+	if len(before.Violations) == 0 {
+		t.Fatal("fixture must be dirty")
+	}
+	epoch := eng.Epoch()
+	if _, err := eng.SwapRules(context.Background(), rules.Of()); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Epoch() == epoch {
+		t.Fatal("swap must bump the epoch")
+	}
+	after := eng.Report()
+	if len(after.Violations) != 0 || after.RulesChecked != 0 {
+		t.Fatalf("report after swap to empty set: %+v", after)
+	}
+}
+
+// TestSwapRulesRejectsInvalid: a set naming unknown attributes (or malformed
+// rules) is rejected atomically — the engine keeps serving the old set.
+func TestSwapRulesRejectsInvalid(t *testing.T) {
+	eng := custEngine(t, true, violation.Options{})
+	before := eng.Report()
+	fp := eng.RuleSet().Fingerprint()
+	bad := []*rules.Set{
+		rules.Of(cfd.NewFD([]string{"BOGUS"}, "CT")),
+		rules.Of(cfd.NewFD([]string{"CC"}, "BOGUS")),
+		rules.Of(cfd.CFD{LHS: []string{"CC"}, RHS: "CT", LHSPattern: []string{"1", "2"}, RHSPattern: "_"}),
+	}
+	for _, set := range bad {
+		if _, err := eng.SwapRules(context.Background(), set); err == nil {
+			t.Fatalf("swap to %v must fail", set.CFDs())
+		}
+	}
+	if got := eng.RuleSet().Fingerprint(); got != fp {
+		t.Fatal("failed swaps must leave the rule set unchanged")
+	}
+	if !reflect.DeepEqual(eng.Report(), before) {
+		t.Fatal("failed swaps must leave the violation state unchanged")
+	}
+}
+
+// TestSwapRulesCancelled: a cancelled context aborts the added-rule index
+// build with no state change.
+func TestSwapRulesCancelled(t *testing.T) {
+	eng := custEngine(t, true, violation.Options{})
+	before := eng.Report()
+	fp := eng.RuleSet().Fingerprint()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.SwapRules(ctx, rules.Of(cfd.NewFD([]string{"PN"}, "NM"))); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled swap: err = %v, want context.Canceled", err)
+	}
+	if got := eng.RuleSet().Fingerprint(); got != fp || !reflect.DeepEqual(eng.Report(), before) {
+		t.Fatal("cancelled swap must leave the engine unchanged")
+	}
+}
+
+// TestSwapRulesWALOnlyLog: an attached CommitLog that cannot journal rule
+// swaps vetoes the swap with ErrWAL instead of desyncing the log.
+func TestSwapRulesWALOnlyLog(t *testing.T) {
+	eng := custEngine(t, true, violation.Options{})
+	eng.AttachWAL(failingLog{err: nil}) // implements CommitLog only
+	fp := eng.RuleSet().Fingerprint()
+	if _, err := eng.SwapRules(context.Background(), rules.Of()); !errors.Is(err, violation.ErrWAL) {
+		t.Fatalf("swap through an op-only log: err = %v, want ErrWAL", err)
+	}
+	if got := eng.RuleSet().Fingerprint(); got != fp {
+		t.Fatal("vetoed swap must leave the rule set unchanged")
+	}
+}
+
+// TestSwapRulesNil: a nil set swaps to the empty set.
+func TestSwapRulesNil(t *testing.T) {
+	eng := custEngine(t, true, violation.Options{})
+	delta, err := eng.SwapRules(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta.Retained) != 0 || len(delta.Added) != 0 || len(delta.Removed) != 6 {
+		t.Fatalf("delta = %v", delta)
+	}
+	if eng.RuleSet().Len() != 0 || len(eng.Rules()) != 0 {
+		t.Fatal("nil swap must serve the empty set")
+	}
+}
+
+// TestSwapRulesConcurrentReaders races swaps against snapshot readers and
+// point reads; under -race this proves the swap path's locking. Every
+// observed snapshot must be internally consistent and belong entirely to one
+// of the two rule sets, never a mix.
+func TestSwapRulesConcurrentReaders(t *testing.T) {
+	fx := fixtures(t)[0]
+	setA := rules.Of(fx.rules...)
+	setB := rules.Of(fx.rules[1], cfd.NewFD([]string{"NM"}, "PN"))
+	eng, err := violation.New(fx.rel.Attributes(), setA, violation.Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.BulkLoad(fx.rel); err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{setA.Fingerprint(): true, setB.Fingerprint(): true}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < 40; i++ {
+			set := setA
+			if i%2 == 0 {
+				set = setB
+			}
+			if _, err := eng.SwapRules(context.Background(), set); err != nil {
+				errs <- err.Error()
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if fp := eng.RuleSet().Fingerprint(); !known[fp] {
+					errs <- "reader saw a rule set that was never installed: " + fp
+					return
+				}
+				rep := eng.Report()
+				if rep.RulesChecked != 2 && rep.RulesChecked != 6 {
+					errs <- "reader saw a half-swapped rule count"
+					return
+				}
+				seen := rules.Of(eng.Rules()...).Fingerprint()
+				if !known[seen] {
+					errs <- "Rules() returned a mix of two sets"
+					return
+				}
+				_, _ = eng.TupleViolations(0)
+				_ = eng.Dirty()
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}

@@ -12,6 +12,10 @@
 // parallel across rule shards, on repro/internal/pool), and then kept current
 // with Insert / Delete / Update — or, amortising lock and index maintenance
 // over many tuples, with an atomic ApplyBatch — as tuples arrive and change.
+// The rule set itself is live too: SwapRules atomically replaces it while
+// reads and writes proceed, reusing the indexes of retained rules and
+// building indexes only for added ones, so freshly re-discovered rules can
+// be hot-swapped into a long-running server without a restart.
 // The current violation state is read back as a streaming Violations
 // sequence, a Report (the same shape repro/cleaning returns), or a per-tuple
 // lookup. On any bulk-loaded relation the Engine reports exactly the
@@ -38,10 +42,12 @@
 //
 // An Engine is memory-only by default. Attach a Store (or any CommitLog)
 // with AttachWAL and every mutation is appended to a write-ahead log before
-// it is applied; Store adds compacted snapshots on top, so a restarted
-// process can rebuild the exact engine state — tuple ids included — with
-// Store.Load. See Store for the on-disk layout and cmd/cfdserve for the
-// serving deployment.
+// it is applied; rule swaps are journaled too (the log must implement
+// RuleCommitLog, as Store does), so replay restores the rule set that was
+// current at the crash. Store adds compacted snapshots on top, so a
+// restarted process can rebuild the exact engine state — tuple ids included
+// — with Store.Load. See Store for the on-disk layout and cmd/cfdserve for
+// the serving deployment.
 package violation
 
 import (
@@ -113,11 +119,12 @@ type CommitLog interface {
 	Append(ops []Op) error
 }
 
-// Engine is an incremental violation detector over a fixed rule set and a
-// mutable set of tuples. Tuple ids are assigned by Insert/ApplyBatch/BulkLoad
-// in arrival order, starting at 0, and are never reused; for a relation
-// loaded by a single BulkLoad the ids coincide with the relation's tuple
-// indexes.
+// Engine is an incremental violation detector over a swappable rule set and
+// a mutable set of tuples. Tuple ids are assigned by Insert/ApplyBatch/
+// BulkLoad in arrival order, starting at 0, and are never reused; for a
+// relation loaded by a single BulkLoad the ids coincide with the relation's
+// tuple indexes. The rule set is replaced wholesale by SwapRules; it is
+// never mutated in place.
 //
 // Id stability has a cost: each ever-assigned id keeps a (nil after Delete)
 // slot in the engine's row table, and the per-attribute interning tables only
@@ -127,17 +134,18 @@ type Engine struct {
 	// mu serialises mutations (Lock) against point reads and snapshot
 	// rebuilds (RLock). The per-rule indexes, rows, dicts and live count are
 	// only written under Lock.
-	mu      sync.RWMutex
-	schema  *core.Schema
-	dicts   []*core.Dict // engine-owned interning tables, one per attribute
-	set     *rules.Set
-	rules   []cfd.CFD
-	indexes []*core.RuleIndex
-	shards  [][]int   // shard -> indexes it owns (round-robin partition)
-	rows    [][]int32 // tuple id -> encoded row; nil once deleted
-	live    int
-	workers int
-	wal     CommitLog
+	mu       sync.RWMutex
+	schema   *core.Schema
+	dicts    []*core.Dict // engine-owned interning tables, one per attribute
+	set      *rules.Set
+	rules    []cfd.CFD
+	indexes  []*core.RuleIndex
+	shards   [][]int   // shard -> indexes it owns (round-robin partition)
+	rows     [][]int32 // tuple id -> encoded row; nil once deleted
+	live     int
+	workers  int
+	shardOpt int // configured Options.Shards, re-applied after a rule swap
+	wal      CommitLog
 
 	// epoch counts mutations; snap caches the immutable state snapshot built
 	// at a given epoch. Readers that find a current snapshot never lock.
@@ -152,6 +160,7 @@ type snapshot struct {
 	epoch      uint64
 	violations []Violation // one per violated rule, rule order
 	dirty      []int       // sorted union of violating ids
+	rules      int         // rules maintained at this epoch
 }
 
 // New builds an engine over the given attribute schema, serving the rules of
@@ -168,10 +177,11 @@ func New(attributes []string, set *rules.Set, opts Options) (*Engine, error) {
 		set = rules.Of()
 	}
 	e := &Engine{
-		schema:  schema,
-		dicts:   make([]*core.Dict, schema.Arity()),
-		set:     set,
-		workers: opts.Workers,
+		schema:   schema,
+		dicts:    make([]*core.Dict, schema.Arity()),
+		set:      set,
+		workers:  opts.Workers,
+		shardOpt: opts.Shards,
 	}
 	for a := range e.dicts {
 		e.dicts[a] = core.NewDict()
@@ -215,23 +225,24 @@ func shardIndexes(n, shards, workers int) [][]int {
 	return out
 }
 
-// addRule validates and compiles one rule against the engine's schema. Rule
-// constants are interned into the engine's dictionaries up front, so encoding
-// never fails on constants outside the active domain — such constants hold
-// codes no tuple carries until a matching value is inserted.
-func (e *Engine) addRule(rule cfd.CFD) error {
+// compileRule validates and compiles one rule against the engine's schema,
+// returning an empty index for it. Rule constants are interned into the
+// engine's dictionaries up front, so encoding never fails on constants
+// outside the active domain — such constants hold codes no tuple carries
+// until a matching value is inserted.
+func (e *Engine) compileRule(rule cfd.CFD) (*core.RuleIndex, error) {
 	if err := rule.Validate(); err != nil {
-		return fmt.Errorf("violation: %w", err)
+		return nil, fmt.Errorf("violation: %w", err)
 	}
 	rhs, ok := e.schema.Index(rule.RHS)
 	if !ok {
-		return fmt.Errorf("violation: rule %s: unknown attribute %q", rule, rule.RHS)
+		return nil, fmt.Errorf("violation: rule %s: unknown attribute %q", rule, rule.RHS)
 	}
 	enc := core.CFD{RHS: rhs, Tp: core.NewPattern(e.schema.Arity())}
 	for i, name := range rule.LHS {
 		a, ok := e.schema.Index(name)
 		if !ok {
-			return fmt.Errorf("violation: rule %s: unknown attribute %q", rule, name)
+			return nil, fmt.Errorf("violation: rule %s: unknown attribute %q", rule, name)
 		}
 		enc.LHS = enc.LHS.Add(a)
 		if rule.LHSPattern[i] != cfd.Wildcard {
@@ -241,8 +252,17 @@ func (e *Engine) addRule(rule cfd.CFD) error {
 	if rule.RHSPattern != cfd.Wildcard {
 		enc.Tp[rhs] = e.dicts[rhs].Encode(rule.RHSPattern)
 	}
+	return core.NewRuleIndex(enc), nil
+}
+
+// addRule compiles one rule and appends it to the engine's rule table.
+func (e *Engine) addRule(rule cfd.CFD) error {
+	ix, err := e.compileRule(rule)
+	if err != nil {
+		return err
+	}
 	e.rules = append(e.rules, rule)
-	e.indexes = append(e.indexes, core.NewRuleIndex(enc))
+	e.indexes = append(e.indexes, ix)
 	return nil
 }
 
@@ -371,14 +391,37 @@ func (e *Engine) Size() int {
 // completed mutation, so two reads at the same epoch observed the same state.
 func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
 
-// Rules returns the engine's rules in order. The slice is shared and
-// immutable after construction; do not modify it.
-func (e *Engine) Rules() []cfd.CFD { return e.rules }
+// Rules returns the rules the engine currently serves, in set order. The
+// returned slice is never mutated by the engine (SwapRules replaces it
+// wholesale); treat it as read-only.
+func (e *Engine) Rules() []cfd.CFD {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.rules
+}
 
-// RuleSet returns the rule set the engine serves, with whatever provenance it
-// was built with (discovery provenance when the set came from
-// discovery.Engine.Run).
-func (e *Engine) RuleSet() *rules.Set { return e.set }
+// RuleSet returns the rule set the engine currently serves, with whatever
+// provenance it was built or last swapped with (discovery provenance when
+// the set came from discovery.Engine.Run). The returned set is a defensive
+// copy: mutating it — or swapping the engine's rules afterwards — never
+// affects the other side. The CFD values inside it share their LHS slices
+// with the original set, which is immutable by contract; treat them as
+// read-only.
+func (e *Engine) RuleSet() *rules.Set {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return rules.New(e.set.CFDs(), e.set.Provenance())
+}
+
+// RulesVersion returns the fingerprint of the rule set the engine currently
+// serves (rules.Set.Fingerprint). Unlike RuleSet().Fingerprint() it reuses
+// the digest cached on the internal set, so it is cheap enough for health
+// endpoints and ETag checks polled per request.
+func (e *Engine) RulesVersion() string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.set.Fingerprint()
+}
 
 // Attributes returns the engine's attribute names in schema order.
 func (e *Engine) Attributes() []string { return e.schema.Names() }
@@ -413,22 +456,25 @@ func (e *Engine) snapshot() *snapshot {
 	}
 	e.mu.RLock()
 	// The epoch is stable while the read lock is held: writers bump it under
-	// the write lock.
+	// the write lock. The rule and index tables are captured here too — a
+	// rule swap replaces both wholesale under the write lock.
 	epoch := e.epoch.Load()
-	perRule, _ := pool.Map(context.Background(), e.workers, len(e.indexes), func(_, i int) []int {
-		if e.indexes[i].BadTuples() == 0 {
+	ruleTable := e.rules
+	indexes := e.indexes
+	perRule, _ := pool.Map(context.Background(), e.workers, len(indexes), func(_, i int) []int {
+		if indexes[i].BadTuples() == 0 {
 			return nil
 		}
-		return e.indexes[i].Violating()
+		return indexes[i].Violating()
 	})
 	e.mu.RUnlock()
-	s := &snapshot{epoch: epoch}
+	s := &snapshot{epoch: epoch, rules: len(ruleTable)}
 	dirty := make(map[int]bool)
 	for i, tuples := range perRule {
 		if len(tuples) == 0 {
 			continue
 		}
-		s.violations = append(s.violations, Violation{Rule: e.rules[i], Tuples: tuples})
+		s.violations = append(s.violations, Violation{Rule: ruleTable[i], Tuples: tuples})
 		for _, t := range tuples {
 			dirty[t] = true
 		}
@@ -467,7 +513,7 @@ func (e *Engine) Report() *Report {
 	return &Report{
 		Violations:   s.violations,
 		DirtyTuples:  s.dirty,
-		RulesChecked: len(e.rules),
+		RulesChecked: s.rules,
 	}
 }
 

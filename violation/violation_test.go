@@ -368,8 +368,8 @@ func TestNewFromTableaux(t *testing.T) {
 	}
 }
 
-// TestRuleSetPreserved checks that the engine hands back the exact rule set
-// it was built from — provenance included — which is what cfdserve's
+// TestRuleSetPreserved checks that the engine hands back the rule set it was
+// built from — rules, order and provenance — which is what cfdserve's
 // GET /rules serves.
 func TestRuleSetPreserved(t *testing.T) {
 	rel := dataset.Cust()
@@ -382,11 +382,15 @@ func TestRuleSetPreserved(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if eng.RuleSet() != set {
-		t.Fatal("RuleSet must return the set the engine was built from")
+	got := eng.RuleSet()
+	if got == set {
+		t.Fatal("RuleSet must return a defensive copy, not the live internal pointer")
 	}
-	if got := eng.RuleSet().Provenance().Algorithm; got != "ctane" {
-		t.Fatalf("provenance lost: algorithm = %q", got)
+	if got.Fingerprint() != set.Fingerprint() || !reflect.DeepEqual(got.CFDs(), set.CFDs()) {
+		t.Fatal("RuleSet copy must carry the exact rules of the set the engine was built from")
+	}
+	if got.Provenance() != set.Provenance() || got.Provenance().Algorithm != "ctane" {
+		t.Fatalf("provenance lost: %+v", got.Provenance())
 	}
 	if len(eng.Rules()) != set.Len() {
 		t.Fatalf("Rules() has %d entries, set %d", len(eng.Rules()), set.Len())
@@ -398,6 +402,32 @@ func TestRuleSetPreserved(t *testing.T) {
 	}
 	if empty.RuleSet().Len() != 0 || len(empty.Rules()) != 0 {
 		t.Fatal("nil set must build an empty engine")
+	}
+}
+
+// TestRuleSetMutationSafety is the satellite fix's proof: a caller scribbling
+// over the set RuleSet returned must not perturb the engine — neither its
+// rule table nor what a later RuleSet call sees.
+func TestRuleSetMutationSafety(t *testing.T) {
+	eng := custEngine(t, true, violation.Options{})
+	wantRules := append([]cfd.CFD(nil), eng.Rules()...)
+	wantFP := eng.RuleSet().Fingerprint()
+	before := eng.Report()
+
+	leaked := eng.RuleSet()
+	for i := range leaked.CFDs() {
+		// Overwrite every rule of the returned copy in place.
+		leaked.CFDs()[i] = cfd.NewFD([]string{"PN"}, "NM")
+	}
+
+	if !reflect.DeepEqual(eng.Rules(), wantRules) {
+		t.Fatalf("engine rules changed after mutating the RuleSet copy:\n%v\nwant\n%v", eng.Rules(), wantRules)
+	}
+	if got := eng.RuleSet().Fingerprint(); got != wantFP {
+		t.Fatalf("RuleSet fingerprint drifted: %s, want %s", got, wantFP)
+	}
+	if !reflect.DeepEqual(eng.Report(), before) {
+		t.Fatal("violation report changed after mutating the RuleSet copy")
 	}
 }
 
