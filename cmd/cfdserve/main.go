@@ -1,7 +1,7 @@
 // Command cfdserve serves CFD violation detection over HTTP: the serving side
 // of the paper's workflow, where discovered rules become live data-quality
 // checks. The rule set comes from a rule file — either the text format of
-// cfddiscover -o or the rules.Set JSON served by GET /rules, sniffed
+// cfddiscover -o or the rules.Set JSON served by GET /v1/rules, sniffed
 // automatically — or is discovered on a trusted sample at startup; tuples are
 // then bulk loaded from a CSV and kept current through the API, with the
 // repro/violation engine maintaining per-rule indexes so every mutation costs
@@ -16,32 +16,48 @@
 //	cfdserve -rules rules.txt -data dirty.csv -state ./state   # durable
 //	cfdserve -state ./state                                    # restart
 //
-// API:
+// API (versioned under /v1; API.md in the repository root is the full wire
+// contract — error envelope, pagination, the delta format):
 //
-//	GET    /health                  engine size, rule count + version, dirty
-//	                                estimate, epoch, WAL backlog, last remine
-//	GET    /rules                   the served rule set as rules.Set JSON
-//	                                (rules, tableaux, provenance, schema),
-//	                                with its version as the ETag
-//	PUT    /rules                   upload a rule file (text or JSON) and
-//	                                atomically swap the served set; responds
-//	                                with the added/removed/retained delta
-//	POST   /rules/remine            re-mine rules over the live tuples in the
-//	                                background and swap if they changed
-//	                                (?wait=1 runs synchronously)
-//	GET    /violations              full snapshot: per-rule tuples + dirty set
-//	GET    /suspects                tuples most likely erroneous (repair view)
-//	POST   /tuples                  insert {"values":[...]} or {"rows":[[...]]}
-//	                                (a rows batch is atomic)
-//	POST   /batch                   atomic mixed batch {"ops":[{"op":"insert",
-//	                                "values":[...]},{"op":"delete","id":3},
-//	                                {"op":"update","id":2,"values":[...]}]}
-//	GET    /tuples/{id}             one tuple's values
-//	GET    /tuples/{id}/violations  rules the tuple violates
-//	PUT    /tuples/{id}             replace {"values":[...]}
-//	DELETE /tuples/{id}             remove the tuple
+//	GET    /v1/health                  engine size, rule count + version,
+//	                                   dirty estimate, epoch, WAL backlog,
+//	                                   last remine
+//	GET    /v1/rules                   the served rule set as rules.Set JSON
+//	                                   (rules, tableaux, provenance, schema),
+//	                                   with its version as the ETag
+//	PUT    /v1/rules                   upload a rule file (text or JSON) and
+//	                                   atomically swap the served set —
+//	                                   conditionally under If-Match; responds
+//	                                   with the added/removed/retained delta
+//	POST   /v1/rules/remine            re-mine rules over the live tuples in
+//	                                   the background and swap if they changed
+//	                                   (?wait=1 runs synchronously)
+//	GET    /v1/violations              full snapshot: per-rule tuples + dirty
+//	                                   set, stamped with its epoch; ?since=N
+//	                                   returns the exact delta since that
+//	                                   epoch instead (410 once compacted)
+//	GET    /v1/violations/stream       the same deltas live, as SSE — one
+//	                                   event per commit
+//	GET    /v1/suspects                tuples most likely erroneous (repair
+//	                                   view)
+//	GET    /v1/tuples                  bulk export in id order (limit/cursor)
+//	POST   /v1/tuples                  insert {"values":[...]} or
+//	                                   {"rows":[[...]]} (a rows batch is
+//	                                   atomic)
+//	POST   /v1/batch                   atomic mixed batch
+//	                                   {"ops":[{"op":"insert","values":[...]},
+//	                                   {"op":"delete","id":3},{"op":"update",
+//	                                   "id":2,"values":[...]}]}
+//	GET    /v1/tuples/{id}             one tuple's values
+//	GET    /v1/tuples/{id}/violations  rules the tuple violates
+//	PUT    /v1/tuples/{id}             replace {"values":[...]}
+//	DELETE /v1/tuples/{id}             remove the tuple
 //
-// The rule set is live: PUT /rules and POST /rules/remine (or the periodic
+// Endpoints that predate versioning are also served at their historical
+// unversioned paths as deprecated aliases; those responses carry a
+// Deprecation header and a Link to the /v1 successor.
+//
+// The rule set is live: PUT /v1/rules and POST /v1/rules/remine (or the periodic
 // -remine-every loop) swap it atomically while traffic proceeds, and on a
 // durable server the swap is write-ahead logged, so a restart — graceful or
 // not — always comes back under the rule set it last served. -support and
@@ -51,7 +67,7 @@
 // JSONL write-ahead log before it is applied, and snapshots are compacted in
 // the background every -compact-every ops (plus once at startup and once at
 // graceful shutdown). A restarted server replays snapshot + WAL and serves a
-// byte-identical /violations report, tuple ids included. -fsync trades
+// byte-identical /v1/violations report, tuple ids included. -fsync trades
 // ingest latency for durability against machine crashes rather than just
 // process exits.
 //
@@ -97,7 +113,7 @@ type config struct {
 func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
-		rules        = flag.String("rules", "", "rule file: cfddiscover -o text or rules.Set JSON (as served by GET /rules)")
+		rules        = flag.String("rules", "", "rule file: cfddiscover -o text or rules.Set JSON (as served by GET /v1/rules)")
 		data         = flag.String("data", "", "CSV file to bulk load at startup (header row required)")
 		schema       = flag.String("schema", "", "comma-separated attribute names (needed only without -data/-sample)")
 		workers      = flag.Int("workers", 0, "worker goroutines for bulk loads, batches and snapshots (0 = one per CPU)")
@@ -107,7 +123,7 @@ func main() {
 		state        = flag.String("state", "", "state directory for the write-ahead log and snapshots (empty = memory-only)")
 		fsync        = flag.Bool("fsync", false, "fsync the write-ahead log on every commit (durable against machine crashes)")
 		compactEvery = flag.Int("compact-every", 4096, "background-compact a snapshot every N logged ops (0 = only at startup/shutdown)")
-		remineEvery  = flag.Duration("remine-every", 0, "re-mine rules over the live tuples on this interval and hot-swap them when changed (0 = only on POST /rules/remine)")
+		remineEvery  = flag.Duration("remine-every", 0, "re-mine rules over the live tuples on this interval and hot-swap them when changed (0 = only on POST /v1/rules/remine)")
 	)
 	flag.Parse()
 
@@ -186,7 +202,7 @@ func main() {
 
 // discoverRules mines the serving rule set on the given relation (the
 // trusted startup sample, or the live tuples during a remine); the resulting
-// set carries the discovery provenance, which GET /rules exposes. A
+// set carries the discovery provenance, which GET /v1/rules exposes. A
 // cancelled ctx aborts the mining run promptly.
 func discoverRules(ctx context.Context, sample *cfd.Relation, cfg config) (*rules.Set, error) {
 	eng := discovery.NewEngine(discovery.AlgFastCFD, sample,

@@ -88,9 +88,11 @@ func TestPutRulesLifecycle(t *testing.T) {
 		t.Fatalf("round-trip swap response = %v", out)
 	}
 
-	// Bad uploads are rejected without touching the serving set.
+	// Bad uploads are rejected without touching the serving set: a file that
+	// does not parse is 400, one that parses but names an unknown attribute
+	// is rejected by the swap as 422.
 	doRaw(t, "PUT", ts.URL+"/rules", "this is not a rule file", http.StatusBadRequest)
-	doRaw(t, "PUT", ts.URL+"/rules", "([BOGUS] -> CT, (_ || _))\n", http.StatusBadRequest)
+	doRaw(t, "PUT", ts.URL+"/rules", "([BOGUS] -> CT, (_ || _))\n", http.StatusUnprocessableEntity)
 	if got := do(t, "GET", ts.URL+"/rules", nil, http.StatusOK)["version"].(string); got != v1 {
 		t.Fatalf("version moved to %q after rejected uploads", got)
 	}

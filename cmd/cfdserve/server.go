@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -44,24 +46,62 @@ func newServer(eng *violation.Engine, store *violation.Store, cfg config) *serve
 	return &server{eng: eng, store: store, cfg: cfg, started: time.Now()}
 }
 
-// handler builds the route table. All bodies and responses are JSON (except
-// the PUT /rules request body, which is a rule file in either text or JSON
-// form).
+// route is one API endpoint: the pattern is the path under the /v1 prefix.
+// Endpoints that predate versioning are also served at their historical
+// unversioned path, marked deprecated; new endpoints are /v1-only.
+type route struct {
+	method  string
+	pattern string // path under /v1, e.g. "/violations" or "/tuples/{id}"
+	legacy  bool   // also served unversioned, with Deprecation headers
+	handler http.HandlerFunc
+}
+
+// routes is the single source of truth for the API surface; the route-parity
+// test checks it against API.md.
+func (s *server) routes() []route {
+	return []route{
+		{"GET", "/health", true, s.health},
+		{"GET", "/rules", true, s.rules},
+		{"PUT", "/rules", true, s.putRules},
+		{"POST", "/rules/remine", true, s.remine},
+		{"GET", "/violations", true, s.violations},
+		{"GET", "/violations/stream", false, s.stream},
+		{"GET", "/suspects", true, s.suspects},
+		{"GET", "/tuples", false, s.listTuples},
+		{"POST", "/tuples", true, s.insert},
+		{"POST", "/batch", true, s.batch},
+		{"GET", "/tuples/{id}", true, s.tuple},
+		{"GET", "/tuples/{id}/violations", true, s.tupleViolations},
+		{"PUT", "/tuples/{id}", true, s.update},
+		{"DELETE", "/tuples/{id}", true, s.remove},
+	}
+}
+
+// handler builds the mux from the route table: every route under /v1, legacy
+// routes additionally at their unversioned path behind a deprecation wrapper.
+// All bodies and responses are JSON (except the PUT rules request body, which
+// is a rule file in either text or JSON form, and the violations stream,
+// which is text/event-stream).
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /health", s.health)
-	mux.HandleFunc("GET /rules", s.rules)
-	mux.HandleFunc("PUT /rules", s.putRules)
-	mux.HandleFunc("POST /rules/remine", s.remine)
-	mux.HandleFunc("GET /violations", s.violations)
-	mux.HandleFunc("GET /suspects", s.suspects)
-	mux.HandleFunc("POST /tuples", s.insert)
-	mux.HandleFunc("POST /batch", s.batch)
-	mux.HandleFunc("GET /tuples/{id}", s.tuple)
-	mux.HandleFunc("GET /tuples/{id}/violations", s.tupleViolations)
-	mux.HandleFunc("PUT /tuples/{id}", s.update)
-	mux.HandleFunc("DELETE /tuples/{id}", s.remove)
+	for _, rt := range s.routes() {
+		mux.HandleFunc(rt.method+" /v1"+rt.pattern, rt.handler)
+		if rt.legacy {
+			mux.HandleFunc(rt.method+" "+rt.pattern, deprecate(rt.pattern, rt.handler))
+		}
+	}
 	return mux
+}
+
+// deprecate serves a legacy unversioned route with the standard deprecation
+// headers (RFC 8594 successor link, draft Deprecation header) pointing at the
+// /v1 pattern, so clients can migrate mechanically.
+func deprecate(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "</v1"+pattern+`>; rel="successor-version"`)
+		h(w, r)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -72,21 +112,67 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// Error codes of the uniform error envelope {"error":{"code":..,"message":..}}.
+// Every non-2xx JSON response uses it; the code is a stable machine-readable
+// discriminator, the message is for humans and not part of the contract.
+const (
+	codeBadRequest      = "bad_request"       // 400: malformed request (bad JSON, bad query param)
+	codeNotFound        = "not_found"         // 404: the tuple id does not exist
+	codeConflict        = "conflict"          // 409: CAS miss (If-Match) or a remine already running
+	codeCompacted       = "compacted"         // 410: ?since= epoch older than the delta history
+	codePayloadTooLarge = "payload_too_large" // 413: request body over the limit
+	codeUnprocessable   = "unprocessable"     // 422: well-formed but semantically invalid (arity, unknown op, bad rule)
+	codeInternal        = "internal"          // 500: WAL append or other engine failure
+)
+
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, map[string]any{"error": map[string]string{
+		"code":    code,
+		"message": err.Error(),
+	}})
 }
 
 // writeOpError maps an engine mutation error onto a status: unknown ids are
-// 404, validation failures 400, write-ahead log failures 500.
+// 404, write-ahead log failures 500, and anything else — a well-formed
+// request the engine rejected (arity mismatch, unknown op kind, invalid
+// rule) — 422.
 func writeOpError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, violation.ErrNotFound):
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, codeNotFound, err)
 	case errors.Is(err, violation.ErrWAL):
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, codeInternal, err)
 	default:
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusUnprocessableEntity, codeUnprocessable, err)
 	}
+}
+
+// pageWindow resolves the limit/cursor query parameters to a [lo,hi) window
+// over n items held in a fixed deterministic order, and, when items remain
+// past the window, the cursor of the next page. No limit means everything.
+func pageWindow(q url.Values, n int) (lo, hi int, next string, err error) {
+	if c := q.Get("cursor"); c != "" {
+		v, err := strconv.Atoi(c)
+		if err != nil || v < 0 {
+			return 0, 0, "", fmt.Errorf("cursor %q is not a non-negative integer", c)
+		}
+		lo = v
+	}
+	if lo > n {
+		lo = n
+	}
+	hi = n
+	if l := q.Get("limit"); l != "" {
+		v, err := strconv.Atoi(l)
+		if err != nil || v <= 0 {
+			return 0, 0, "", fmt.Errorf("limit %q is not a positive integer", l)
+		}
+		if lo+v < hi {
+			hi = lo + v
+			next = strconv.Itoa(hi)
+		}
+	}
+	return lo, hi, next, nil
 }
 
 func pathID(r *http.Request) (int, error) {
@@ -186,21 +272,31 @@ func ruleStrings(cfds []cfd.CFD) []string {
 
 // putRules atomically swaps the served rule set for the uploaded rule file —
 // text (cfddiscover -o) or rules.Set JSON (GET /rules), sniffed — and
-// responds with the delta. The swap is write-ahead logged on a durable
-// server, so a crash right after the 200 still restarts under the new rules.
+// responds with the delta. An If-Match header makes the swap conditional on
+// the currently served rules version (the ETag of GET /rules): a mismatch is
+// rejected with 409, so two operators cannot silently overwrite each other.
+// The swap is write-ahead logged on a durable server, so a crash right after
+// the 200 still restarts under the new rules.
 func (s *server) putRules(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxRulesBody+1))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("reading body: %w", err))
 		return
 	}
 	if len(body) > maxRulesBody {
-		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("rule file exceeds %d bytes", maxRulesBody))
+		writeError(w, http.StatusRequestEntityTooLarge, codePayloadTooLarge, fmt.Errorf("rule file exceeds %d bytes", maxRulesBody))
 		return
+	}
+	if match := r.Header.Get("If-Match"); match != "" {
+		if v := s.eng.RulesVersion(); !strings.Contains(match, `"`+v+`"`) {
+			writeError(w, http.StatusConflict, codeConflict,
+				fmt.Errorf("the served rules version is %q, which does not match If-Match %s", v, match))
+			return
+		}
 	}
 	set, err := rules.Parse(string(body))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	delta, err := s.eng.SwapRules(r.Context(), set)
@@ -242,7 +338,7 @@ type remineResult struct {
 // serving one, so a remine over unchanged data is a no-op.
 func (s *server) remine(w http.ResponseWriter, r *http.Request) {
 	if !s.remining.CompareAndSwap(false, true) {
-		writeError(w, http.StatusConflict, errors.New("a remine is already running"))
+		writeError(w, http.StatusConflict, codeConflict, errors.New("a remine is already running"))
 		return
 	}
 	if wait, _ := strconv.ParseBool(r.URL.Query().Get("wait")); wait {
@@ -342,39 +438,216 @@ type violationJSON struct {
 	Tuples []int  `json:"tuples"`
 }
 
-func (s *server) violations(w http.ResponseWriter, _ *http.Request) {
-	// One immutable epoch snapshot: consistent even while writers proceed.
-	rep := s.eng.Report()
-	out := make([]violationJSON, 0, len(rep.Violations))
-	for _, v := range rep.Violations {
+func toViolationJSON(vs []violation.Violation) []violationJSON {
+	out := make([]violationJSON, 0, len(vs))
+	for _, v := range vs {
 		out = append(out, violationJSON{Rule: v.Rule.String(), Tuples: v.Tuples})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"violations":    out,
-		"dirty":         rep.DirtyTuples,
-		"rules_checked": rep.RulesChecked,
-	})
+	return out
 }
 
-func (s *server) suspects(w http.ResponseWriter, _ *http.Request) {
+// deltaDoc is the wire form of a violation.Delta: one mutation epoch's (or a
+// merged range's) exact change to the violation report. rules is present only
+// when the range contains a rule swap, and then carries the full replacement
+// rule list the added/removed entries are relative to.
+type deltaDoc struct {
+	Epoch        uint64          `json:"epoch"`
+	Added        []violationJSON `json:"added"`
+	Removed      []violationJSON `json:"removed"`
+	DirtyAdded   []int           `json:"dirty_added"`
+	DirtyRemoved []int           `json:"dirty_removed"`
+	// Rules is null when the span contains no rule swap; on a swap it is the
+	// full replacement rule list, possibly empty.
+	Rules []string `json:"rules"`
+}
+
+func intsOrEmpty(v []int) []int {
+	if v == nil {
+		return []int{}
+	}
+	return v
+}
+
+func newDeltaDoc(d *violation.Delta) deltaDoc {
+	doc := deltaDoc{
+		Epoch:        d.Epoch,
+		Added:        toViolationJSON(d.Added),
+		Removed:      toViolationJSON(d.Removed),
+		DirtyAdded:   intsOrEmpty(d.DirtyAdded),
+		DirtyRemoved: intsOrEmpty(d.DirtyRemoved),
+	}
+	if d.Rules != nil {
+		doc.Rules = ruleStrings(d.Rules)
+	}
+	return doc
+}
+
+// violations serves the violation state. Without parameters: the full report
+// from one immutable epoch snapshot, consistent even while writers proceed.
+// With ?since=<epoch>: the exact delta between that epoch and now, in
+// O(changes) — 410 with code "compacted" when the epoch has left the bounded
+// delta history, telling the client to resync with a full read. limit/cursor
+// page the full report over its per-rule entries, which are in rule order.
+func (s *server) violations(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if raw := q.Get("since"); raw != "" {
+		since, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("since %q is not an epoch", raw))
+			return
+		}
+		d, err := s.eng.Changes(since)
+		if err != nil {
+			writeError(w, http.StatusGone, codeCompacted, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"epoch": d.Epoch, "delta": newDeltaDoc(d)})
+		return
+	}
+	rep := s.eng.Report()
+	out := toViolationJSON(rep.Violations)
+	lo, hi, next, err := pageWindow(q, len(out))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
+		return
+	}
+	resp := map[string]any{
+		"epoch":         rep.Epoch,
+		"violations":    out[lo:hi],
+		"dirty":         rep.DirtyTuples,
+		"rules_checked": rep.RulesChecked,
+	}
+	if next != "" {
+		resp["next_cursor"] = next
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// stream serves violation deltas as server-sent events: an initial "epoch"
+// event naming the stream position, then one "delta" event per change (the
+// event id is the delta's epoch, so Last-Event-ID style resume maps onto
+// ?since=). A client that connects with a ?since= epoch already outside the
+// delta history gets a terminal "compacted" event and must resync with a
+// full read. The stream ends when the client disconnects or the server shuts
+// down.
+func (s *server) stream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, codeInternal, errors.New("streaming is unsupported by this connection"))
+		return
+	}
+	cur := s.eng.Epoch()
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		since, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("since %q is not an epoch", raw))
+			return
+		}
+		cur = since
+	}
+	// The request context ends when the client goes away; fold in the server
+	// shutdown context so graceful shutdown does not wait out open streams.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	defer context.AfterFunc(s.shutdownCtx(), cancel)()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, "event: epoch\ndata: {\"epoch\":%d}\n\n", cur)
+	fl.Flush()
+	for {
+		if _, err := s.eng.WaitChange(ctx, cur); err != nil {
+			return // client disconnected or server shutting down
+		}
+		d, err := s.eng.Changes(cur)
+		if err != nil {
+			// The client fell behind the delta history: tell it to resync.
+			fmt.Fprintf(w, "event: compacted\ndata: {\"error\":{\"code\":%q,\"message\":%q}}\n\n", codeCompacted, err.Error())
+			fl.Flush()
+			return
+		}
+		cur = d.Epoch
+		payload, err := json.Marshal(newDeltaDoc(d))
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "id: %d\nevent: delta\ndata: %s\n\n", d.Epoch, payload)
+		fl.Flush()
+	}
+}
+
+func (s *server) suspects(w http.ResponseWriter, r *http.Request) {
 	// Relation() materialises one consistent copy; the batch suspect analysis
 	// then runs on the copy without holding anything, so a polling client
 	// never stalls writers.
 	rel, ids, err := s.eng.Relation()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, codeInternal, err)
 		return
 	}
 	suspects, err := cleaning.Suspects(rel, s.eng.RuleSet())
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, codeInternal, err)
 		return
 	}
 	out := make([]int, len(suspects))
 	for i, t := range suspects {
 		out[i] = ids[t]
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"suspects": out})
+	// Ascending tuple ids pin the pagination order.
+	sort.Ints(out)
+	lo, hi, next, err := pageWindow(r.URL.Query(), len(out))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
+		return
+	}
+	resp := map[string]any{"suspects": out[lo:hi]}
+	if next != "" {
+		resp["next_cursor"] = next
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type tupleJSON struct {
+	ID     int      `json:"id"`
+	Values []string `json:"values"`
+}
+
+// listTuples pages through the live tuples in ascending id order — the
+// bulk-export counterpart of POST /v1/tuples. The cursor is the id to resume
+// from (as handed back in next_cursor), so a page stays correct even when
+// tuples are inserted or deleted between requests.
+func (s *server) listTuples(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	start := 0
+	if c := q.Get("cursor"); c != "" {
+		v, err := strconv.Atoi(c)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("cursor %q is not a non-negative integer", c))
+			return
+		}
+		start = v
+	}
+	limit := 0
+	if l := q.Get("limit"); l != "" {
+		v, err := strconv.Atoi(l)
+		if err != nil || v <= 0 {
+			writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("limit %q is not a positive integer", l))
+			return
+		}
+		limit = v
+	}
+	tuples, next, more := s.eng.Tuples(start, limit)
+	out := make([]tupleJSON, len(tuples))
+	for i, t := range tuples {
+		out[i] = tupleJSON{ID: t.ID, Values: t.Values}
+	}
+	resp := map[string]any{"tuples": out, "total": s.eng.Size()}
+	if more {
+		resp["next_cursor"] = strconv.Itoa(next)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // insertRequest accepts either a single tuple ("values") or a batch ("rows").
@@ -386,7 +659,7 @@ type insertRequest struct {
 func (s *server) insert(w http.ResponseWriter, r *http.Request) {
 	var req insertRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("decoding body: %w", err))
 		return
 	}
 	rows := req.Rows
@@ -394,7 +667,7 @@ func (s *server) insert(w http.ResponseWriter, r *http.Request) {
 		rows = append(rows, req.Values)
 	}
 	if len(rows) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("body must carry \"values\" or \"rows\""))
+		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("body must carry \"values\" or \"rows\""))
 		return
 	}
 	ops := make([]violation.Op, len(rows))
@@ -425,11 +698,11 @@ type batchRequest struct {
 func (s *server) batch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("decoding body: %w", err))
 		return
 	}
 	if len(req.Ops) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("body must carry a non-empty \"ops\" array"))
+		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("body must carry a non-empty \"ops\" array"))
 		return
 	}
 	ids, err := s.eng.ApplyBatch(req.Ops)
@@ -449,12 +722,12 @@ func (s *server) batch(w http.ResponseWriter, r *http.Request) {
 func (s *server) tuple(w http.ResponseWriter, r *http.Request) {
 	id, err := pathID(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	row, err := s.eng.Row(id)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, codeNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"id": id, "values": row})
@@ -463,12 +736,12 @@ func (s *server) tuple(w http.ResponseWriter, r *http.Request) {
 func (s *server) tupleViolations(w http.ResponseWriter, r *http.Request) {
 	id, err := pathID(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	rules, err := s.eng.TupleViolations(id)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, codeNotFound, err)
 		return
 	}
 	out := make([]string, len(rules))
@@ -481,16 +754,16 @@ func (s *server) tupleViolations(w http.ResponseWriter, r *http.Request) {
 func (s *server) update(w http.ResponseWriter, r *http.Request) {
 	id, err := pathID(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	var req insertRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("decoding body: %w", err))
 		return
 	}
 	if len(req.Values) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("body must carry \"values\""))
+		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("body must carry \"values\""))
 		return
 	}
 	if err := s.eng.Update(id, req.Values...); err != nil {
@@ -504,7 +777,7 @@ func (s *server) update(w http.ResponseWriter, r *http.Request) {
 func (s *server) remove(w http.ResponseWriter, r *http.Request) {
 	id, err := pathID(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	if err := s.eng.Delete(id); err != nil {

@@ -179,10 +179,10 @@ func TestServeEndToEnd(t *testing.T) {
 	if out := do(t, "GET", ts.URL+"/tuples/7", nil, http.StatusNotFound); out["error"] == "" {
 		t.Fatal("expected an error body")
 	}
-	// Malformed insert 400s.
-	do(t, "POST", ts.URL+"/tuples", map[string]any{"values": []string{"too", "short"}}, http.StatusBadRequest)
-	// Updating a live tuple with the wrong arity 400s; a deleted id 404s.
-	do(t, "PUT", ts.URL+"/tuples/0", map[string]any{"values": []string{"too", "short"}}, http.StatusBadRequest)
+	// A well-formed insert with the wrong arity is 422 unprocessable.
+	do(t, "POST", ts.URL+"/tuples", map[string]any{"values": []string{"too", "short"}}, http.StatusUnprocessableEntity)
+	// Updating a live tuple with the wrong arity 422s; a deleted id 404s.
+	do(t, "PUT", ts.URL+"/tuples/0", map[string]any{"values": []string{"too", "short"}}, http.StatusUnprocessableEntity)
 	do(t, "PUT", ts.URL+"/tuples/7", map[string]any{"values": []string{"a", "b", "c", "d", "e", "f", "g"}}, http.StatusNotFound)
 }
 

@@ -67,7 +67,16 @@ func (g *vgroup) recompute(rhsConst int32) {
 // Insert adds tuple id with the given encoded row. Rows not matching the LHS
 // pattern are ignored. Only row entries at the rule's LHS and RHS attribute
 // indexes are read; the row is not retained.
-func (ix *RuleIndex) Insert(id int, row []int32) {
+func (ix *RuleIndex) Insert(id int, row []int32) { ix.InsertObserve(id, row, nil) }
+
+// InsertObserve is Insert reporting every violating-set membership change the
+// insert causes: observe(t, true) when tuple t becomes violating, observe(t,
+// false) when it stops. The inserted tuple itself is reported like any other
+// group member, so the calls are exactly the symmetric difference between the
+// rule's violating set before and after — O(changes), since badness flips
+// touch whole groups and everything else touches only id. A nil observe is
+// plain Insert.
+func (ix *RuleIndex) InsertObserve(id int, row []int32, observe func(id int, violating bool)) {
 	if !ix.matches(row) {
 		return
 	}
@@ -77,6 +86,7 @@ func (ix *RuleIndex) Insert(id int, row []int32) {
 		g = &vgroup{tuples: make(map[int]int32), counts: make(map[int32]int)}
 		ix.groups[k] = g
 	}
+	wasBad := g.bad
 	if g.bad {
 		ix.bad -= len(g.tuples)
 	}
@@ -87,11 +97,28 @@ func (ix *RuleIndex) Insert(id int, row []int32) {
 	if g.bad {
 		ix.bad += len(g.tuples)
 	}
+	if observe == nil || wasBad == g.bad {
+		if wasBad && g.bad && observe != nil {
+			observe(id, true) // joined a group that stays violating
+		}
+		return
+	}
+	// The group's badness flipped: every member's membership changed — except
+	// id itself on a bad->good flip, which it was never part of.
+	for t := range g.tuples {
+		if !g.bad && t == id {
+			continue
+		}
+		observe(t, g.bad)
+	}
 }
 
 // Delete removes tuple id, given the same encoded row it was inserted with.
 // Unknown ids and non-matching rows are ignored.
-func (ix *RuleIndex) Delete(id int, row []int32) {
+func (ix *RuleIndex) Delete(id int, row []int32) { ix.DeleteObserve(id, row, nil) }
+
+// DeleteObserve is Delete with the same change reporting as InsertObserve.
+func (ix *RuleIndex) DeleteObserve(id int, row []int32, observe func(id int, violating bool)) {
 	if !ix.matches(row) {
 		return
 	}
@@ -104,6 +131,7 @@ func (ix *RuleIndex) Delete(id int, row []int32) {
 	if !ok {
 		return
 	}
+	wasBad := g.bad
 	if g.bad {
 		ix.bad -= len(g.tuples)
 	}
@@ -113,11 +141,35 @@ func (ix *RuleIndex) Delete(id int, row []int32) {
 	}
 	if len(g.tuples) == 0 {
 		delete(ix.groups, k)
+		if wasBad && observe != nil {
+			observe(id, false)
+		}
 		return
 	}
 	g.recompute(ix.c.Tp[ix.c.RHS])
 	if g.bad {
 		ix.bad += len(g.tuples)
+	}
+	if observe == nil {
+		return
+	}
+	if wasBad && !g.bad {
+		// The departure healed the group: id and every survivor leave the
+		// violating set.
+		observe(id, false)
+		for t := range g.tuples {
+			observe(t, false)
+		}
+		return
+	}
+	if wasBad { // stays bad: only the departed tuple's membership changed
+		observe(id, false)
+		return
+	}
+	if g.bad { // good->bad on delete cannot happen; kept for exactness
+		for t := range g.tuples {
+			observe(t, true)
+		}
 	}
 }
 

@@ -2,11 +2,11 @@
 # Documentation link checker, run by `make docs-check` and the CI docs job:
 # every relative markdown link in the checked documents must point at a file
 # (or file#anchor) that exists in the repository, and the load-bearing
-# cross-references between README.md, ARCHITECTURE.md and doc.go must be
-# present. External http(s) links are not fetched.
+# cross-references between README.md, ARCHITECTURE.md, API.md and doc.go must
+# be present. External http(s) links are not fetched.
 set -eu
 
-DOCS="README.md ARCHITECTURE.md"
+DOCS="README.md ARCHITECTURE.md API.md"
 status=0
 
 fail() {
@@ -34,10 +34,14 @@ for doc in $DOCS; do
 done
 
 # Load-bearing cross-references: the README and doc.go must route readers to
-# the architecture document and back.
+# the architecture document and back, and the HTTP API contract must be
+# reachable from both entry documents.
 grep -q 'ARCHITECTURE.md' README.md || fail "README.md must link ARCHITECTURE.md"
 grep -q 'README' ARCHITECTURE.md || fail "ARCHITECTURE.md must link back to the README"
 grep -q 'ARCHITECTURE.md' doc.go || fail "doc.go must mention ARCHITECTURE.md"
+grep -q 'API.md' README.md || fail "README.md must link API.md"
+grep -q 'API.md' ARCHITECTURE.md || fail "ARCHITECTURE.md must link API.md"
+grep -q 'README' API.md || fail "API.md must link back to the README"
 
 # Anchored deep links: for every intra-repo link with a #fragment, the target
 # document must contain a heading that slugifies to the fragment.

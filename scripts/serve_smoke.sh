@@ -146,8 +146,84 @@ post="$(curl -fs -X POST "$BASE/tuples" \
 	-d '{"values":["01","908","1111111","Zoe","Tree Ave.","MH","07974"]}')"
 echo "$post" | tr -d ' \n' | grep -q '"ids":\[11\]' || fail "id sequence lost across restart: $post"
 
+# --- Delta leg: /v1 polling, deprecation headers, compaction resync. ---
+
+# Legacy aliases answer with deprecation headers; /v1 does not.
+curl -fsi "$BASE/violations" | grep -qi '^deprecation: true' \
+	|| fail "legacy /violations must send Deprecation: true"
+curl -fsi "$BASE/violations" | grep -qi 'rel="successor-version"' \
+	|| fail "legacy /violations must link its /v1 successor"
+if curl -fsi "$BASE/v1/violations" | grep -qi '^deprecation'; then
+	fail "/v1/violations must not be deprecated"
+fi
+
+# A full read carries the epoch; polling ?since= that epoch returns the exact
+# delta of the next mutation, not the whole report.
+epoch="$(curl -fs "$BASE/v1/violations" | tr -d ' ' | sed -n 's/.*"epoch":\([0-9]*\),.*/\1/p')"
+[ -n "$epoch" ] || fail "/v1/violations carries no epoch"
+curl -fs -X POST "$BASE/v1/tuples" \
+	-H 'Content-Type: application/json' \
+	-d '{"values":["01","212","9999999","Ann","5th Ave","NYC","01202"]}' >/dev/null \
+	|| fail "insert through /v1 failed"
+delta="$(curl -fs "$BASE/v1/violations?since=$epoch")"
+echo "$delta" | tr -d ' \n' | grep -q "\"epoch\":$((epoch + 1))" \
+	|| fail "delta epoch did not advance by one: $delta"
+echo "$delta" | tr -d ' \n' | grep -q '"dirty_added":\[12\]' \
+	|| fail "delta should carry the inserted tuple: $delta"
+
 kill -TERM "$PID"
 wait "$PID" || fail "durable server did not exit cleanly on SIGTERM"
+trap - EXIT
+
+# Restart with per-op compaction: the WAL tail (and with it the replayable
+# delta history) folds into the snapshot after every mutation.
+"$BIN" -addr "$ADDR" -state "$STATE" -compact-every 1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+i=0
+until curl -fs "$BASE/health" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -lt 50 ] || fail "compacting server did not come up on $ADDR"
+	sleep 0.1
+done
+
+curl -fs -X DELETE "$BASE/v1/tuples/12" >/dev/null || fail "delete through /v1 failed"
+# Wait for the background compaction to fold the WAL away.
+i=0
+until curl -fs "$BASE/health" | tr -d ' ' | grep -q '"wal_pending":0'; do
+	i=$((i + 1))
+	[ "$i" -lt 50 ] || fail "background compaction never drained the WAL"
+	sleep 0.1
+done
+
+# Kill hard and restart: replay finds nothing to rebuild the delta ring from,
+# so the old epoch must be refused with 410/compacted and the client resyncs.
+kill -KILL "$PID"
+wait "$PID" 2>/dev/null || true
+"$BIN" -addr "$ADDR" -state "$STATE" &
+PID=$!
+
+i=0
+until curl -fs "$BASE/health" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -lt 50 ] || fail "post-compaction server did not come up on $ADDR"
+	sleep 0.1
+done
+
+status="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/violations?since=$epoch")"
+[ "$status" = "410" ] || fail "stale since should be 410 after compaction, got $status"
+curl -s "$BASE/v1/violations?since=$epoch" | tr -d ' \n' | grep -q '"code":"compacted"' \
+	|| fail "410 body should carry the compacted error code"
+# The resync: a full read hands back the current epoch, from which polling
+# resumes with an empty delta.
+epoch="$(curl -fs "$BASE/v1/violations" | tr -d ' ' | sed -n 's/.*"epoch":\([0-9]*\),.*/\1/p')"
+resync="$(curl -fs "$BASE/v1/violations?since=$epoch")"
+echo "$resync" | tr -d ' \n' | grep -q '"added":\[\]' \
+	|| fail "resynced poll should be an empty delta: $resync"
+
+kill -TERM "$PID"
+wait "$PID" || fail "post-compaction server did not exit cleanly on SIGTERM"
 trap - EXIT
 
 echo "serve-smoke: OK"

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"repro/internal/pool"
 )
@@ -101,7 +102,7 @@ func (e *Engine) ApplyBatch(ops []Op) ([]int, error) {
 		}
 	}
 	e.apply(resolved)
-	e.epoch.Add(1)
+	e.bumpLocked()
 	return ids, nil
 }
 
@@ -195,7 +196,10 @@ func (e *Engine) resolve(ops []Op) ([]resolvedOp, []int, error) {
 // at the pre-assigned ids), then the per-rule indexes — each shard replayed
 // on its own pool worker, rules outer and ops inner for index locality. The
 // replay must run to completion to keep the state consistent, so it is not
-// cancellable. Callers must hold the write lock.
+// cancellable. Each index reports the violating-set memberships it flips
+// (InsertObserve/DeleteObserve); the per-rule flips, folded so that a tuple
+// leaving and re-entering within the batch cancels, become the commit's
+// Delta. Callers must hold the write lock.
 func (e *Engine) apply(resolved []resolvedOp) {
 	for _, r := range resolved {
 		switch r.kind {
@@ -209,20 +213,40 @@ func (e *Engine) apply(resolved []resolvedOp) {
 			e.rows[r.id] = r.new
 		}
 	}
+	// Shards own disjoint rule positions, so the per-rule change maps are
+	// written race-free even when shards maintain concurrently.
+	changes := make([]map[int]int8, len(e.indexes))
 	maintain := func(s int) {
 		for _, ri := range e.shards[s] {
 			ix := e.indexes[ri]
+			var m map[int]int8
+			observe := func(id int, violating bool) {
+				if m == nil {
+					m = make(map[int]int8)
+				}
+				sign := int8(-1)
+				if violating {
+					sign = 1
+				}
+				// Memberships alternate, so an opposite pending flip cancels.
+				if m[id] == -sign {
+					delete(m, id)
+				} else {
+					m[id] = sign
+				}
+			}
 			for _, r := range resolved {
 				switch r.kind {
 				case OpInsert:
-					ix.Insert(r.id, r.new)
+					ix.InsertObserve(r.id, r.new, observe)
 				case OpDelete:
-					ix.Delete(r.id, r.old)
+					ix.DeleteObserve(r.id, r.old, observe)
 				case OpUpdate:
-					ix.Delete(r.id, r.old)
-					ix.Insert(r.id, r.new)
+					ix.DeleteObserve(r.id, r.old, observe)
+					ix.InsertObserve(r.id, r.new, observe)
 				}
 			}
+			changes[ri] = m
 		}
 	}
 	// A single op (the Insert/Delete/Update fast path) is not worth a pool
@@ -231,8 +255,48 @@ func (e *Engine) apply(resolved []resolvedOp) {
 		for s := range e.shards {
 			maintain(s)
 		}
-		return
+	} else {
+		// context.Background: batch index maintenance must not stop halfway.
+		_ = pool.Each(context.Background(), e.workers, len(e.shards), func(_, s int) { maintain(s) })
 	}
-	// context.Background: batch index maintenance must not stop halfway.
-	_ = pool.Each(context.Background(), e.workers, len(e.shards), func(_, s int) { maintain(s) })
+	added, removed := e.foldChanges(changes)
+	e.recordDelta(added, removed, nil)
+}
+
+// foldChanges turns per-rule-position membership flips into the per-distinct-
+// rule Added/Removed entries of a Delta, in rule order. Duplicate rules in the
+// serving set produce identical flips; one entry per canonical key is kept.
+// Callers must hold the write lock.
+func (e *Engine) foldChanges(changes []map[int]int8) (added, removed []Violation) {
+	var seen map[string]bool
+	for i, m := range changes {
+		if len(m) == 0 {
+			continue
+		}
+		k := ruleKey(e.rules[i])
+		if seen[k] {
+			continue
+		}
+		if seen == nil {
+			seen = make(map[string]bool)
+		}
+		seen[k] = true
+		var add, rem []int
+		for id, sign := range m {
+			if sign > 0 {
+				add = append(add, id)
+			} else {
+				rem = append(rem, id)
+			}
+		}
+		sort.Ints(add)
+		sort.Ints(rem)
+		if len(add) > 0 {
+			added = append(added, Violation{Rule: e.rules[i], Tuples: add})
+		}
+		if len(rem) > 0 {
+			removed = append(removed, Violation{Rule: e.rules[i], Tuples: rem})
+		}
+	}
+	return added, removed
 }

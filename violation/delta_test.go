@@ -1,0 +1,228 @@
+package violation_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/cfd"
+	"repro/rules"
+	"repro/violation"
+)
+
+// insertN inserts n throwaway tuples, one commit each, and returns their ids.
+func insertN(t *testing.T, eng *violation.Engine, n int) []int {
+	t.Helper()
+	ids := make([]int, n)
+	for i := range ids {
+		id, err := eng.Insert("01", "212", "1111111", "Ann", "5th Ave", "NYC", "01202")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	return ids
+}
+
+// TestChangesRingBounds pins the bounded-history contract of Engine.Changes:
+// a since equal to the head is an empty delta, a since within the ring is a
+// merged delta, and anything outside — too old, ahead of the engine, or
+// across a bulk load — is ErrCompacted.
+func TestChangesRingBounds(t *testing.T) {
+	fx := fixtures(t)[0]
+	eng, err := violation.New(fx.rel.Attributes(), rules.Of(fx.rules...), violation.Options{DeltaHistory: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.BulkLoad(fx.rel); err != nil {
+		t.Fatal(err)
+	}
+	base := eng.Epoch()
+
+	// since == head: an empty delta carrying the head epoch.
+	d, err := eng.Changes(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch != base || !d.Empty() {
+		t.Fatalf("Changes(head) = %+v, want the empty delta at %d", d, base)
+	}
+	// since ahead of the engine: not coverable.
+	if _, err := eng.Changes(base + 1); !errors.Is(err, violation.ErrCompacted) {
+		t.Fatalf("Changes(head+1) err = %v, want ErrCompacted", err)
+	}
+
+	// Fill the ring exactly: 4 commits with a 4-deep history.
+	insertN(t, eng, 4)
+	head := eng.Epoch()
+	if head != base+4 {
+		t.Fatalf("epoch = %d after 4 commits from %d", head, base)
+	}
+	if d, err = eng.Changes(base); err != nil {
+		t.Fatalf("Changes across a full ring: %v", err)
+	}
+	if d.Epoch != head || len(d.DirtyAdded) != 4 {
+		t.Fatalf("merged delta = %+v, want 4 dirty additions at epoch %d", d, head)
+	}
+	// One more commit evicts the oldest slot.
+	insertN(t, eng, 1)
+	if _, err := eng.Changes(base); !errors.Is(err, violation.ErrCompacted) {
+		t.Fatalf("Changes past the ring err = %v, want ErrCompacted", err)
+	}
+	if _, err := eng.Changes(base + 1); err != nil {
+		t.Fatalf("Changes at the ring edge: %v", err)
+	}
+
+	// A bulk load is not delta-tracked: it empties the history, even for
+	// epochs that were still in the ring.
+	pre := eng.Epoch()
+	if err := eng.BulkLoad(fx.rel); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Changes(pre); !errors.Is(err, violation.ErrCompacted) {
+		t.Fatalf("Changes across a bulk load err = %v, want ErrCompacted", err)
+	}
+	if d, err := eng.Changes(eng.Epoch()); err != nil || !d.Empty() {
+		t.Fatalf("Changes(head) across a bulk load = %+v, %v", d, err)
+	}
+
+	// DeltaHistory < 0 disables the ring entirely.
+	bare, err := violation.New(fx.rel.Attributes(), rules.Of(fx.rules...), violation.Options{DeltaHistory: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertN(t, bare, 1)
+	if _, err := bare.Changes(bare.Epoch() - 1); !errors.Is(err, violation.ErrCompacted) {
+		t.Fatalf("Changes with history disabled err = %v, want ErrCompacted", err)
+	}
+	if d, err := bare.Changes(bare.Epoch()); err != nil || !d.Empty() {
+		t.Fatalf("Changes(head) with history disabled = %+v, %v", d, err)
+	}
+}
+
+// TestWaitChange covers the long-poll primitive: immediate return on a stale
+// since, wake-up on the next commit, and ctx cancellation.
+func TestWaitChange(t *testing.T) {
+	eng := custEngine(t, true, violation.Options{})
+	head := eng.Epoch()
+
+	// Already-moved epoch: returns without blocking.
+	if got, err := eng.WaitChange(context.Background(), head-1); err != nil || got != head {
+		t.Fatalf("WaitChange(stale) = %d, %v; want %d", got, err, head)
+	}
+
+	// Blocked waiter is woken by the next commit.
+	done := make(chan uint64, 1)
+	go func() {
+		got, err := eng.WaitChange(context.Background(), head)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- got
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter block
+	insertN(t, eng, 1)
+	select {
+	case got := <-done:
+		if got != head+1 {
+			t.Fatalf("woken at epoch %d, want %d", got, head+1)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitChange missed the commit")
+	}
+
+	// Cancellation unblocks with ctx.Err().
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := eng.WaitChange(ctx, eng.Epoch())
+		errCh <- err
+	}()
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled WaitChange err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitChange ignored cancellation")
+	}
+}
+
+// TestDeltaResumeAcrossRestart is the durable half of the delta contract: the
+// engine's epoch is aligned with the store's WAL sequence, so a delta client
+// holding a pre-crash epoch resumes after a crash-replay restart as if
+// nothing happened — and after a compaction folds the tail away, it gets
+// ErrCompacted and resyncs with a full read.
+func TestDeltaResumeAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	eng, st := durableEngine(t, dir, violation.StoreOptions{})
+
+	// The client's last full read, before any logged mutation.
+	prev := eng.Report()
+	table := eng.Rules()
+	if prev.Epoch != st.Seq() {
+		t.Fatalf("epoch %d is not aligned with the WAL sequence %d", prev.Epoch, st.Seq())
+	}
+
+	// Logged mutations, including a rule swap mid-stream.
+	ids := insertN(t, eng, 2)
+	if err := eng.Delete(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.SwapRules(context.Background(), rules.Of(cfd.NewFD([]string{"CC", "AC"}, "CT"))); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Epoch() != st.Seq() {
+		t.Fatalf("epoch %d drifted from the WAL sequence %d", eng.Epoch(), st.Seq())
+	}
+
+	// Crash (no final compaction: the WAL tail survives) and rebuild: replay
+	// repopulates the delta ring, so the pre-crash since still resolves.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	eng2 := reload(t, dir)
+	if eng2.Epoch() != eng.Epoch() {
+		t.Fatalf("restarted epoch %d, want %d", eng2.Epoch(), eng.Epoch())
+	}
+	d, err := eng2.Changes(prev.Epoch)
+	if err != nil {
+		t.Fatalf("Changes(%d) after crash-replay: %v", prev.Epoch, err)
+	}
+	if d.Rules == nil {
+		t.Fatal("the replayed span contains a swap; the merged delta must carry the rule table")
+	}
+	applied := d.Apply(prev, table)
+	fresh := eng2.Report()
+	if applied.Epoch != fresh.Epoch || !violationsEqual(applied.Violations, fresh.Violations) ||
+		!sameIDs(applied.DirtyTuples, fresh.DirtyTuples) || applied.RulesChecked != fresh.RulesChecked {
+		t.Fatalf("delta resume diverges\napplied: %+v\nfresh:   %+v", applied, fresh)
+	}
+
+	// Compact and restart again: the tail is folded into the snapshot, the
+	// ring starts empty, and the old since must be refused — the client
+	// resyncs with a full read and carries on from its epoch.
+	st2, err := violation.OpenStore(dir, violation.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Compact(eng2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	eng3 := reload(t, dir)
+	if _, err := eng3.Changes(prev.Epoch); !errors.Is(err, violation.ErrCompacted) {
+		t.Fatalf("Changes(%d) after compaction err = %v, want ErrCompacted", prev.Epoch, err)
+	}
+	resync := eng3.Report()
+	if !violationsEqual(resync.Violations, fresh.Violations) {
+		t.Fatal("full resync diverges from the pre-compaction state")
+	}
+	if d, err := eng3.Changes(resync.Epoch); err != nil || !d.Empty() {
+		t.Fatalf("Changes at the resynced epoch = %+v, %v", d, err)
+	}
+}

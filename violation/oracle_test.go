@@ -196,10 +196,30 @@ func TestRandomizedOracle(t *testing.T) {
 			for i := 0; i < fx.rel.Size(); i++ {
 				m.rows[i] = fx.rel.Row(i)
 			}
+			// The delta leg mirrors an API client: hold the previous full
+			// report and the rule table it was relative to, and after every
+			// step reconstruct the new report from Changes alone.
+			prev := eng.Report()
+			table := startSet.CFDs()
 			for step := 0; step < steps; step++ {
 				desc := oracleStep(t, rng, eng, m, pool)
 				wantViols, wantDirty := m.expected(t, fx.rel.Attributes())
 				rep := eng.Report()
+				d, err := eng.Changes(prev.Epoch)
+				if err != nil {
+					t.Fatalf("seed %d step %d (%s): Changes(%d): %v", seed, step, desc, prev.Epoch, err)
+				}
+				applied := d.Apply(prev, table)
+				if applied.Epoch != rep.Epoch || applied.RulesChecked != rep.RulesChecked ||
+					!violationsEqual(applied.Violations, rep.Violations) ||
+					!sameIDs(applied.DirtyTuples, rep.DirtyTuples) {
+					t.Fatalf("seed %d step %d (%s): replaying delta %+v onto the previous report diverges\napplied: %+v\nfresh:   %+v",
+						seed, step, desc, d, applied, rep)
+				}
+				prev = applied
+				if d.Rules != nil {
+					table = d.Rules
+				}
 				if rep.RulesChecked != m.set.Len() {
 					t.Fatalf("seed %d step %d (%s): engine checks %d rules, oracle %d",
 						seed, step, desc, rep.RulesChecked, m.set.Len())
@@ -226,6 +246,14 @@ func TestRandomizedOracle(t *testing.T) {
 			}
 		})
 	}
+}
+
+// sameIDs compares two ascending id lists, tolerating nil vs empty.
+func sameIDs(got, want []int) bool {
+	if len(got) == 0 && len(want) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(got, want)
 }
 
 // violationsEqual compares per-rule violation lists rule by rule, tolerating

@@ -266,6 +266,14 @@ func (st *Store) Load(opts Options) (*Engine, bool, error) {
 	if err := e.restore(snap.Tuples, snap.NextID); err != nil {
 		return nil, false, err
 	}
+	// Re-base the epoch onto the WAL sequence before replay: the restored
+	// state is exactly the state after commit WalSeq, and every replayed
+	// record bumps the epoch once, so afterwards epoch == Seq() and a delta
+	// client's pre-crash since values stay meaningful (the replayed tail even
+	// repopulates the delta ring).
+	e.mu.Lock()
+	e.rebaseEpochLocked(snap.WalSeq)
+	e.mu.Unlock()
 	if err := st.replay(e); err != nil {
 		return nil, false, err
 	}
@@ -497,6 +505,15 @@ func (st *Store) Pending() int {
 	return st.pending
 }
 
+// Seq returns the sequence number of the last committed record. The engine
+// re-bases its mutation epoch onto it at AttachWAL, making epochs — and the
+// delta history keyed by them — comparable across restarts of the same store.
+func (st *Store) Seq() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.seq
+}
+
 // Dir returns the state directory.
 func (st *Store) Dir() string { return st.dir }
 
@@ -514,7 +531,7 @@ func (st *Store) Close() error {
 func (e *Engine) restore(tuples []savedTuple, nextID int) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	defer e.epoch.Add(1)
+	defer e.resetViewLocked()
 	if len(e.rows) != 0 {
 		return fmt.Errorf("violation: restore into a non-empty engine")
 	}

@@ -91,10 +91,48 @@ func (e *Engine) SwapRules(ctx context.Context, set *rules.Set) (rules.Delta, er
 			return rules.Delta{}, fmt.Errorf("violation: %w: %w", ErrWAL, err)
 		}
 	}
+	// The swap's violation delta, by canonical rule key: a retained key keeps
+	// its violating set (the indexes above are reused or rebuilt to identical
+	// state), so only dropped keys remove violations and only added keys —
+	// whose fresh indexes are fully built by now — add them. One entry per
+	// distinct key, like every delta.
+	oldKey := make(map[string]bool, len(e.rules))
+	for _, r := range e.rules {
+		oldKey[ruleKey(r)] = true
+	}
+	newKey := make(map[string]bool, len(newRules))
+	for _, r := range newRules {
+		newKey[ruleKey(r)] = true
+	}
+	var added, removed []Violation
+	seen := make(map[string]bool)
+	for i, r := range e.rules {
+		if k := ruleKey(r); !newKey[k] && !seen[k] {
+			seen[k] = true
+			if e.indexes[i].BadTuples() > 0 {
+				removed = append(removed, Violation{Rule: r, Tuples: e.indexes[i].Violating()})
+			}
+		}
+	}
+	for i, r := range newRules {
+		if k := ruleKey(r); !oldKey[k] && !seen[k] {
+			seen[k] = true
+			if newIndexes[i].BadTuples() > 0 {
+				added = append(added, Violation{Rule: r, Tuples: newIndexes[i].Violating()})
+			}
+		}
+	}
+	// The delta's rule list must be non-nil even when swapping to the empty
+	// set: in a Delta, nil Rules means "no swap happened".
+	swapped := newRules
+	if swapped == nil {
+		swapped = []cfd.CFD{}
+	}
+	e.recordDelta(added, removed, swapped)
 	e.set = set
 	e.rules = newRules
 	e.indexes = newIndexes
 	e.shards = shardIndexes(len(newIndexes), e.shardOpt, e.workers)
-	e.epoch.Add(1)
+	e.bumpLocked()
 	return delta, nil
 }

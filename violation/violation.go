@@ -85,6 +85,9 @@ type Violation struct {
 // shape of repro/cleaning's batch report. Its slices are shared with the
 // engine's immutable snapshot; treat them as read-only.
 type Report struct {
+	// Epoch is the mutation epoch the report captures; poll Changes(Epoch)
+	// for what happened since.
+	Epoch uint64
 	// Violations holds one entry per violated rule, in rule order.
 	Violations []Violation
 	// DirtyTuples is the sorted union of all violating tuple ids.
@@ -109,6 +112,11 @@ type Options struct {
 	// worker. 0 derives the shard count from Workers; values above the rule
 	// count are clamped. Any shard count yields identical state.
 	Shards int
+	// DeltaHistory bounds the ring of per-commit violation deltas served by
+	// Changes: a reader up to DeltaHistory epochs behind gets an incremental
+	// delta, older readers get ErrCompacted and must resync with a full read.
+	// 0 keeps the default (1024); negative disables the history entirely.
+	DeltaHistory int
 }
 
 // CommitLog is the write-ahead hook of the engine: when attached, Append is
@@ -152,6 +160,17 @@ type Engine struct {
 	epoch  atomic.Uint64
 	snap   atomic.Pointer[snapshot]
 	snapMu sync.Mutex // serialises snapshot rebuilds
+
+	// The incremental materialized-view state, all written under mu.Lock:
+	// deltas is the bounded ring of per-commit deltas, indexed by epoch modulo
+	// its length, holding the deltaN most recent epochs; dirtyRef counts, per
+	// dirty tuple, the distinct rules it violates (so delta commits know when
+	// a tuple enters or leaves the dirty union); watch is closed and replaced
+	// at every epoch bump, waking WaitChange waiters.
+	deltas   []*Delta
+	deltaN   int
+	dirtyRef map[int]int
+	watch    chan struct{}
 }
 
 // snapshot is one immutable view of the violation state, shared by every
@@ -176,12 +195,20 @@ func New(attributes []string, set *rules.Set, opts Options) (*Engine, error) {
 	if set == nil {
 		set = rules.Of()
 	}
+	history := opts.DeltaHistory
+	if history == 0 {
+		history = 1024
+	} else if history < 0 {
+		history = 0
+	}
 	e := &Engine{
 		schema:   schema,
 		dicts:    make([]*core.Dict, schema.Arity()),
 		set:      set,
 		workers:  opts.Workers,
 		shardOpt: opts.Shards,
+		deltas:   make([]*Delta, history),
+		watch:    make(chan struct{}),
 	}
 	for a := range e.dicts {
 		e.dicts[a] = core.NewDict()
@@ -292,10 +319,21 @@ func (e *Engine) row(id int) ([]int32, error) {
 // applied, and fails without applying if the append fails. Attach the log
 // after any initial BulkLoad/restore — bulk loads are not logged; they are
 // captured by snapshot compaction instead (see Store.Compact).
+//
+// A log that exposes its commit sequence (Seq() uint64, as *Store does)
+// re-bases the engine's epoch onto it, so from here on epoch N means "the
+// state after commit N" in every process that replays the same log — which is
+// what lets a delta client resume Changes(since) across a server restart. A
+// re-base discards the delta history accumulated under the old numbering.
 func (e *Engine) AttachWAL(w CommitLog) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.wal = w
+	if s, ok := w.(interface{ Seq() uint64 }); ok {
+		if seq := s.Seq(); seq != e.epoch.Load() {
+			e.rebaseEpochLocked(seq)
+		}
+	}
 }
 
 // Insert adds one tuple (values in schema order) and returns its id. Each
@@ -335,7 +373,10 @@ func (e *Engine) BulkLoad(rel *cfd.Relation) error {
 func (e *Engine) BulkLoadContext(ctx context.Context, rel *cfd.Relation) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	defer e.epoch.Add(1)
+	// A bulk load is not delta-tracked: the commit resets the delta ring
+	// (Changes across it reports ErrCompacted) and rebuilds the dirty
+	// refcounts from the indexes.
+	defer e.resetViewLocked()
 	attrs := rel.Attributes()
 	if len(attrs) != e.schema.Arity() {
 		return fmt.Errorf("violation: relation has %d attributes, engine schema has %d", len(attrs), e.schema.Arity())
@@ -441,10 +482,48 @@ func (e *Engine) Row(id int) ([]string, error) {
 	return out, nil
 }
 
+// Tuple is one live tuple with its stable id, as listed by Tuples.
+type Tuple struct {
+	ID     int
+	Values []string
+}
+
+// Tuples lists live tuples in ascending id order starting at the first live
+// id >= start, returning at most limit of them (limit <= 0 lists all). next
+// is the id to resume from and more reports whether a live tuple at or beyond
+// next exists — the deterministic cursor contract behind GET /v1/tuples: ids
+// are stable, so a page boundary survives concurrent mutations.
+func (e *Engine) Tuples(start, limit int) (tuples []Tuple, next int, more bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if start < 0 {
+		start = 0
+	}
+	for id := start; id < len(e.rows); id++ {
+		row := e.rows[id]
+		if row == nil {
+			continue
+		}
+		if limit > 0 && len(tuples) == limit {
+			return tuples, id, true
+		}
+		values := make([]string, len(row))
+		for a, code := range row {
+			values[a] = e.dicts[a].Value(code)
+		}
+		tuples = append(tuples, Tuple{ID: id, Values: values})
+	}
+	return tuples, len(e.rows), false
+}
+
 // snapshot returns the immutable state snapshot for the current epoch,
-// rebuilding it — in parallel across rules, briefly excluding writers — only
-// when a mutation happened since the last build. The double-checked snapMu
-// keeps a stampede of stale readers down to one rebuild.
+// refreshing it only when a mutation happened since the last build. The
+// refresh prefers the incremental path — patching the previous snapshot with
+// the merged ring delta since its epoch, O(changes) instead of O(relation) —
+// and falls back to the full parallel rebuild when the previous snapshot is
+// too old for the bounded delta history (or there is none yet). The
+// double-checked snapMu keeps a stampede of stale readers down to one
+// refresh.
 func (e *Engine) snapshot() *snapshot {
 	if s := e.snap.Load(); s != nil && s.epoch == e.epoch.Load() {
 		return s
@@ -460,6 +539,22 @@ func (e *Engine) snapshot() *snapshot {
 	// rule swap replaces both wholesale under the write lock.
 	epoch := e.epoch.Load()
 	ruleTable := e.rules
+	if old := e.snap.Load(); old != nil {
+		if d, err := e.changesLocked(old.epoch); err == nil {
+			// Ring deltas and snapshots are immutable once published, so the
+			// patch itself can run outside the lock.
+			e.mu.RUnlock()
+			rep := d.Apply(&Report{
+				Epoch:        old.epoch,
+				Violations:   old.violations,
+				DirtyTuples:  old.dirty,
+				RulesChecked: old.rules,
+			}, ruleTable)
+			s := &snapshot{epoch: epoch, violations: rep.Violations, dirty: rep.DirtyTuples, rules: rep.RulesChecked}
+			e.snap.Store(s)
+			return s
+		}
+	}
 	indexes := e.indexes
 	perRule, _ := pool.Map(context.Background(), e.workers, len(indexes), func(_, i int) []int {
 		if indexes[i].BadTuples() == 0 {
@@ -511,6 +606,7 @@ func (e *Engine) Violations() iter.Seq[Violation] {
 func (e *Engine) Report() *Report {
 	s := e.snapshot()
 	return &Report{
+		Epoch:        s.epoch,
 		Violations:   s.violations,
 		DirtyTuples:  s.dirty,
 		RulesChecked: s.rules,

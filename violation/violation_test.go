@@ -170,8 +170,12 @@ func TestIncrementalInsertMatchesBulk(t *testing.T) {
 					t.Fatalf("insert %d got id %d", i, id)
 				}
 			}
-			if !reflect.DeepEqual(inc.Report(), bulk.Report()) {
-				t.Fatalf("incremental report:\n%+v\nbulk report:\n%+v", inc.Report(), bulk.Report())
+			got, want := inc.Report(), bulk.Report()
+			// The epoch counts mutations, so it legitimately differs between
+			// the two histories; the state must not.
+			got.Epoch, want.Epoch = 0, 0
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("incremental report:\n%+v\nbulk report:\n%+v", got, want)
 			}
 		})
 	}
