@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet staticcheck docs-check fuzz cover ci clean serve-smoke
+.PHONY: all build test race bench fmt vet staticcheck docs-check fuzz cover ci clean serve-smoke obs-smoke
 
 all: build
 
@@ -73,11 +73,20 @@ cover:
 	@./scripts/check_coverage.sh cover_rules.out $(RULES_COVER_FLOOR) rules
 
 # serve-smoke starts cmd/cfdserve on fixture rules + data, drives the API with
-# curl and checks graceful shutdown; CI runs the same script.
+# curl and checks graceful shutdown; CI runs the same script. Its final leg
+# scrapes /metrics and checks the request-id and pprof surfaces, so obs-smoke
+# only needs to add the naming check.
 serve-smoke:
 	./scripts/serve_smoke.sh
 
-ci: fmt vet staticcheck build race cover fuzz docs-check bench serve-smoke
+# obs-smoke validates the observability layer: metric naming conventions and
+# the ARCHITECTURE.md catalogue against the registered names (both
+# directions), then the live /metrics scrape via the smoke script.
+obs-smoke:
+	./scripts/check_metrics.sh
+	./scripts/serve_smoke.sh
+
+ci: fmt vet staticcheck build race cover fuzz docs-check bench obs-smoke
 
 clean:
 	rm -f BENCH_ci.txt BENCH_ci.json cover_violation.out cover_rules.out

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"repro/cfd"
@@ -39,7 +40,7 @@ func main() {
 	}
 	if *noise > 0 {
 		dirty, perturbed := dataset.InjectNoise(rel, *noise, *seed+1)
-		fmt.Fprintf(os.Stderr, "cfdgen: perturbed %d of %d tuples\n", len(perturbed), rel.Size())
+		slog.Info("injected noise", "perturbed", len(perturbed), "tuples", rel.Size())
 		rel = dirty
 	}
 	if *output == "" {

@@ -80,7 +80,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -89,6 +92,7 @@ import (
 
 	"repro/cfd"
 	"repro/discovery"
+	"repro/obs"
 	"repro/rules"
 )
 
@@ -108,6 +112,11 @@ type config struct {
 	fsync        bool
 	compactEvery int
 	remineEvery  time.Duration
+
+	debugAddr string
+	logLevel  string
+	logFormat string
+	logw      io.Writer // log destination override (tests); nil = stderr
 }
 
 func main() {
@@ -124,6 +133,9 @@ func main() {
 		fsync        = flag.Bool("fsync", false, "fsync the write-ahead log on every commit (durable against machine crashes)")
 		compactEvery = flag.Int("compact-every", 4096, "background-compact a snapshot every N logged ops (0 = only at startup/shutdown)")
 		remineEvery  = flag.Duration("remine-every", 0, "re-mine rules over the live tuples on this interval and hot-swap them when changed (0 = only on POST /v1/rules/remine)")
+		debugAddr    = flag.String("debug-addr", "", "separate listen address for net/http/pprof profiling endpoints (empty = disabled)")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logFormat    = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
 
@@ -132,6 +144,7 @@ func main() {
 		samplePath: *sample, support: *support, maxLHS: *maxLHS,
 		statePath: *state, fsync: *fsync, compactEvery: *compactEvery,
 		remineEvery: *remineEvery,
+		debugAddr:   *debugAddr, logLevel: *logLevel, logFormat: *logFormat,
 	}
 	if *schema != "" {
 		for _, a := range strings.Split(*schema, ",") {
@@ -139,15 +152,24 @@ func main() {
 		}
 	}
 
+	// Validate and install the process logger before anything can log:
+	// buildServing and the libraries log through slog.Default, the per-request
+	// access log through the same handler with the request id attached.
+	logger, err := obs.NewLogger(os.Stderr, cfg.logLevel, cfg.logFormat)
+	if err != nil {
+		fatal(err)
+	}
+	slog.SetDefault(logger)
+
 	sv, err := buildServing(cfg)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("cfdserve: %d rules over %d attributes, %d tuples loaded\n",
-		len(sv.eng.Rules()), len(sv.eng.Attributes()), sv.eng.Size())
+	logger.Info("serving state loaded",
+		"rules", len(sv.eng.Rules()), "attributes", len(sv.eng.Attributes()), "tuples", sv.eng.Size())
 	if sv.store != nil {
-		fmt.Printf("cfdserve: durable state in %s (fsync=%v, compact-every=%d)\n",
-			sv.store.Dir(), cfg.fsync, cfg.compactEvery)
+		logger.Info("durable state attached",
+			"state_dir", sv.store.Dir(), "fsync", cfg.fsync, "compact_every", cfg.compactEvery)
 	}
 
 	h := newServer(sv.eng, sv.store, cfg)
@@ -156,11 +178,24 @@ func main() {
 	defer stop()
 	h.baseCtx = ctx // bounds background remines at shutdown
 
+	// The pprof endpoints live on their own listener, never the serving
+	// address: profiling stays reachable when the API is saturated, and the
+	// serving port exposes no debug surface.
+	if cfg.debugAddr != "" {
+		go func() {
+			logger.Info("debug listener on", "addr", cfg.debugAddr)
+			if err := http.ListenAndServe(cfg.debugAddr, debugMux()); err != nil {
+				logger.Error("debug listener failed", "error", err)
+			}
+		}()
+	}
+
 	// The loop runs remines synchronously on its own goroutine, so waiting
 	// for loopDone at shutdown covers an in-flight periodic remine.
 	loopDone := make(chan struct{})
 	if cfg.remineEvery > 0 {
-		fmt.Printf("cfdserve: remining every %s (support=%d, maxlhs=%d)\n", cfg.remineEvery, cfg.support, cfg.maxLHS)
+		logger.Info("periodic remining enabled",
+			"every", cfg.remineEvery.String(), "support", cfg.support, "maxlhs", cfg.maxLHS)
 		go func() {
 			defer close(loopDone)
 			h.remineLoop(ctx, cfg.remineEvery)
@@ -171,7 +206,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Printf("cfdserve: listening on %s\n", cfg.addr)
+		logger.Info("listening", "addr", cfg.addr)
 		errCh <- srv.ListenAndServe()
 	}()
 	select {
@@ -182,7 +217,7 @@ func main() {
 		}
 	case <-ctx.Done():
 		stop()
-		fmt.Println("cfdserve: shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -200,15 +235,35 @@ func main() {
 	}
 }
 
+// debugMux serves the net/http/pprof endpoints. An explicit mux, not
+// http.DefaultServeMux, so nothing else a dependency registers globally leaks
+// onto the debug port.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // discoverRules mines the serving rule set on the given relation (the
 // trusted startup sample, or the live tuples during a remine); the resulting
 // set carries the discovery provenance, which GET /v1/rules exposes. A
-// cancelled ctx aborts the mining run promptly.
-func discoverRules(ctx context.Context, sample *cfd.Relation, cfg config) (*rules.Set, error) {
-	eng := discovery.NewEngine(discovery.AlgFastCFD, sample,
+// cancelled ctx aborts the mining run promptly. progress, when non-nil, is
+// the discovery progress hook: called with the cumulative rule count after
+// every streamed rule (the remine path counts candidates through it).
+func discoverRules(ctx context.Context, sample *cfd.Relation, cfg config, progress func(found int)) (*rules.Set, error) {
+	options := []discovery.Option{
 		discovery.WithSupport(cfg.support),
 		discovery.WithMaxLHS(cfg.maxLHS),
-		discovery.WithWorkers(cfg.workers))
+		discovery.WithWorkers(cfg.workers),
+	}
+	if progress != nil {
+		options = append(options, discovery.WithProgress(progress))
+	}
+	eng := discovery.NewEngine(discovery.AlgFastCFD, sample, options...)
 	return eng.Run(ctx)
 }
 

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/obs"
+)
+
+// obsStack bundles the server's observability state: the metrics registry
+// behind GET /metrics, the structured logger, and the HTTP-layer series the
+// instrument middleware feeds. Engine, WAL and delta series are registered by
+// obs.InstrumentEngine/InstrumentStore against the same registry.
+type obsStack struct {
+	reg *obs.Registry
+	log *slog.Logger
+
+	reqTotal *obs.CounterVec   // route, method, code (status class: 2xx..5xx)
+	reqDur   *obs.HistogramVec // route, method
+	inFlight *obs.Gauge
+	sse      *obs.Gauge
+
+	remineTotal   *obs.CounterVec // outcome: swapped | unchanged | error
+	remineDur     *obs.Histogram
+	rulesStreamed *obs.Counter
+}
+
+// newObsStack builds the registry, the HTTP/discovery families and the logger.
+// logW is the log destination (nil = stderr); level and format come from the
+// -log-level/-log-format flags and default to info/text.
+func newObsStack(cfg config, logW io.Writer) (*obsStack, error) {
+	if logW == nil {
+		logW = os.Stderr
+	}
+	log, err := obs.NewLogger(logW, cfg.logLevel, cfg.logFormat)
+	if err != nil {
+		return nil, err
+	}
+	reg := obs.NewRegistry()
+	return &obsStack{
+		reg:           reg,
+		log:           log,
+		reqTotal:      reg.CounterVec("cfd_http_requests_total", "HTTP requests served, by route pattern, method and status class.", "route", "method", "code"),
+		reqDur:        reg.HistogramVec("cfd_http_request_duration_seconds", "HTTP request duration by route pattern and method.", obs.DefBuckets, "route", "method"),
+		inFlight:      reg.Gauge("cfd_http_in_flight_requests", "HTTP requests currently being served."),
+		sse:           reg.Gauge("cfd_http_sse_subscribers", "Open /v1/violations/stream SSE connections."),
+		remineTotal:   reg.CounterVec("cfd_remine_total", "Completed remine runs by outcome (swapped, unchanged, error).", "outcome"),
+		remineDur:     reg.Histogram("cfd_remine_duration_seconds", "Wall-clock duration of remine runs.", obs.DefBuckets),
+		rulesStreamed: reg.Counter("cfd_discovery_rules_streamed_total", "Candidate rules streamed by discovery during remines."),
+	}, nil
+}
+
+// statusWriter captures the response status for the access log and metrics.
+// It forwards Flush (the SSE handler type-asserts http.Flusher) and exposes
+// the wrapped writer via Unwrap for http.ResponseController.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// validRequestID bounds what the server echoes back: a client-supplied id is
+// reused only when it is short and header/log-safe, anything else is replaced.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// instrument wraps one route handler with the observability middleware: it
+// assigns (or adopts) the request id, echoes it as X-Request-Id, carries it in
+// the context so every log line and error envelope repeats it, tracks the
+// in-flight gauge, and emits the per-route counter, duration histogram and
+// access log line when the handler returns. route is the pattern label
+// ("/violations", not the concrete path), so the series stay low-cardinality.
+func (s *server) instrument(method, route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get("X-Request-Id")
+		if !validRequestID(id) {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		ctx := obs.WithRequestID(r.Context(), id)
+		r = r.WithContext(ctx)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		s.obs.inFlight.Inc()
+		defer func() {
+			s.obs.inFlight.Dec()
+			elapsed := time.Since(start)
+			s.obs.reqTotal.With(route, method, fmt.Sprintf("%dxx", sw.status/100)).Inc()
+			s.obs.reqDur.With(route, method).Observe(elapsed.Seconds())
+			s.logger().LogAttrs(ctx, slog.LevelInfo, "request",
+				slog.String("method", method),
+				slog.String("route", route),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Duration("duration", elapsed),
+			)
+		}()
+		h(sw, r)
+	}
+}
+
+// logger returns the server's structured logger (the process default when the
+// server was built without an obs stack, which only happens in tests that
+// construct the struct directly).
+func (s *server) logger() *slog.Logger {
+	if s.obs != nil && s.obs.log != nil {
+		return s.obs.log
+	}
+	return slog.Default()
+}

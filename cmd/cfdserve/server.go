@@ -6,9 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
-	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -19,6 +19,7 @@ import (
 	"repro/cfd"
 	"repro/cleaning"
 	"repro/dataset"
+	"repro/obs"
 	"repro/rules"
 	"repro/violation"
 )
@@ -34,16 +35,33 @@ type server struct {
 	store        *violation.Store // nil when running memory-only
 	cfg          config           // compaction cadence + remine discovery knobs
 	baseCtx      context.Context  // cancelled at shutdown; bounds background remines
+	obs          *obsStack        // metrics registry + structured logger
 	compacting   atomic.Bool
 	remining     atomic.Bool // CAS guard: at most one remine at a time
 	bg           sync.WaitGroup
 	started      time.Time
 	lastRemineMu sync.Mutex
 	lastRemine   *remineResult
+
+	lastCompactMu  sync.Mutex
+	lastCompactErr string // last background-compaction failure; "" once one succeeds
 }
 
 func newServer(eng *violation.Engine, store *violation.Store, cfg config) *server {
-	return &server{eng: eng, store: store, cfg: cfg, started: time.Now()}
+	st, err := newObsStack(cfg, cfg.logw)
+	if err != nil {
+		// Invalid -log-level/-log-format values are rejected in main before
+		// the server is built; a bad value reaching here (a test constructing
+		// its own config) falls back to the defaults.
+		fallback := cfg
+		fallback.logLevel, fallback.logFormat = "", ""
+		st, _ = newObsStack(fallback, cfg.logw)
+	}
+	obs.InstrumentEngine(st.reg, eng)
+	if store != nil {
+		obs.InstrumentStore(st.reg, store)
+	}
+	return &server{eng: eng, store: store, cfg: cfg, obs: st, started: time.Now()}
 }
 
 // route is one API endpoint: the pattern is the path under the /v1 prefix.
@@ -85,11 +103,14 @@ func (s *server) routes() []route {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	for _, rt := range s.routes() {
-		mux.HandleFunc(rt.method+" /v1"+rt.pattern, rt.handler)
+		mux.HandleFunc(rt.method+" /v1"+rt.pattern, s.instrument(rt.method, rt.pattern, rt.handler))
 		if rt.legacy {
-			mux.HandleFunc(rt.method+" "+rt.pattern, deprecate(rt.pattern, rt.handler))
+			mux.HandleFunc(rt.method+" "+rt.pattern, s.instrument(rt.method, rt.pattern, deprecate(rt.pattern, rt.handler)))
 		}
 	}
+	// The scrape endpoint itself is outside the /v1 contract and outside the
+	// instrument middleware: scrapes should not move the series they read.
+	mux.Handle("GET /metrics", s.obs.reg.Handler())
 	return mux
 }
 
@@ -125,25 +146,31 @@ const (
 	codeInternal        = "internal"          // 500: WAL append or other engine failure
 )
 
-func writeError(w http.ResponseWriter, status int, code string, err error) {
-	writeJSON(w, status, map[string]any{"error": map[string]string{
+func writeError(w http.ResponseWriter, r *http.Request, status int, code string, err error) {
+	e := map[string]string{
 		"code":    code,
 		"message": err.Error(),
-	}})
+	}
+	// The same id the middleware put in X-Request-Id, so an error report can
+	// be matched to its access-log line.
+	if id := obs.RequestID(r.Context()); id != "" {
+		e["request_id"] = id
+	}
+	writeJSON(w, status, map[string]any{"error": e})
 }
 
 // writeOpError maps an engine mutation error onto a status: unknown ids are
 // 404, write-ahead log failures 500, and anything else — a well-formed
 // request the engine rejected (arity mismatch, unknown op kind, invalid
 // rule) — 422.
-func writeOpError(w http.ResponseWriter, err error) {
+func writeOpError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, violation.ErrNotFound):
-		writeError(w, http.StatusNotFound, codeNotFound, err)
+		writeError(w, r, http.StatusNotFound, codeNotFound, err)
 	case errors.Is(err, violation.ErrWAL):
-		writeError(w, http.StatusInternalServerError, codeInternal, err)
+		writeError(w, r, http.StatusInternalServerError, codeInternal, err)
 	default:
-		writeError(w, http.StatusUnprocessableEntity, codeUnprocessable, err)
+		writeError(w, r, http.StatusUnprocessableEntity, codeUnprocessable, err)
 	}
 }
 
@@ -195,8 +222,18 @@ func (s *server) maybeCompact() {
 	go func() {
 		defer s.bg.Done()
 		defer s.compacting.Store(false)
-		if err := s.store.Compact(s.eng); err != nil {
-			fmt.Fprintln(os.Stderr, "cfdserve: background compaction:", err)
+		err := s.store.Compact(s.eng)
+		s.lastCompactMu.Lock()
+		if err != nil {
+			s.lastCompactErr = err.Error()
+		} else {
+			s.lastCompactErr = ""
+		}
+		s.lastCompactMu.Unlock()
+		if err != nil {
+			s.logger().Error("background compaction failed", "error", err)
+		} else {
+			s.logger().Debug("background compaction done", "wal_pending", s.store.Pending())
 		}
 	}()
 }
@@ -207,6 +244,7 @@ func (s *server) maybeCompact() {
 func (s *server) drainBackground() { s.bg.Wait() }
 
 func (s *server) health(w http.ResponseWriter, _ *http.Request) {
+	ds := s.eng.DeltaStats()
 	out := map[string]any{
 		"status": "ok",
 		"tuples": s.eng.Size(),
@@ -217,10 +255,26 @@ func (s *server) health(w http.ResponseWriter, _ *http.Request) {
 		"epoch":         s.eng.Epoch(),
 		"uptime":        time.Since(s.started).Round(time.Millisecond).String(),
 		"rules_version": s.eng.RulesVersion(),
+		// In-flight state, not just last-completed results: both booleans flip
+		// while the background work runs.
+		"compacting":     s.compacting.Load(),
+		"remine_running": s.remining.Load(),
+		"delta_ring": map[string]any{
+			"occupancy":       ds.Occupancy,
+			"capacity":        ds.Capacity,
+			"evictions":       ds.Evictions,
+			"compacted_reads": ds.CompactedReads,
+			"waiters":         ds.Waiters,
+		},
 	}
 	if s.store != nil {
 		out["state_dir"] = s.store.Dir()
 		out["wal_pending"] = s.store.Pending()
+		s.lastCompactMu.Lock()
+		if s.lastCompactErr != "" {
+			out["last_compaction_error"] = s.lastCompactErr
+		}
+		s.lastCompactMu.Unlock()
 	}
 	s.lastRemineMu.Lock()
 	if s.lastRemine != nil {
@@ -280,28 +334,28 @@ func ruleStrings(cfds []cfd.CFD) []string {
 func (s *server) putRules(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxRulesBody+1))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("reading body: %w", err))
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, fmt.Errorf("reading body: %w", err))
 		return
 	}
 	if len(body) > maxRulesBody {
-		writeError(w, http.StatusRequestEntityTooLarge, codePayloadTooLarge, fmt.Errorf("rule file exceeds %d bytes", maxRulesBody))
+		writeError(w, r, http.StatusRequestEntityTooLarge, codePayloadTooLarge, fmt.Errorf("rule file exceeds %d bytes", maxRulesBody))
 		return
 	}
 	if match := r.Header.Get("If-Match"); match != "" {
 		if v := s.eng.RulesVersion(); !strings.Contains(match, `"`+v+`"`) {
-			writeError(w, http.StatusConflict, codeConflict,
+			writeError(w, r, http.StatusConflict, codeConflict,
 				fmt.Errorf("the served rules version is %q, which does not match If-Match %s", v, match))
 			return
 		}
 	}
 	set, err := rules.Parse(string(body))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	delta, err := s.eng.SwapRules(r.Context(), set)
 	if err != nil {
-		writeOpError(w, err)
+		writeOpError(w, r, err)
 		return
 	}
 	s.maybeCompact()
@@ -338,7 +392,7 @@ type remineResult struct {
 // serving one, so a remine over unchanged data is a no-op.
 func (s *server) remine(w http.ResponseWriter, r *http.Request) {
 	if !s.remining.CompareAndSwap(false, true) {
-		writeError(w, http.StatusConflict, codeConflict, errors.New("a remine is already running"))
+		writeError(w, r, http.StatusConflict, codeConflict, errors.New("a remine is already running"))
 		return
 	}
 	if wait, _ := strconv.ParseBool(r.URL.Query().Get("wait")); wait {
@@ -370,7 +424,17 @@ func (s *server) shutdownCtx() context.Context {
 // for /health and releases the flag.
 func (s *server) remineOnce(ctx context.Context) remineResult {
 	defer s.remining.Store(false)
+	start := time.Now()
 	res := s.runRemine(ctx)
+	outcome := "unchanged"
+	switch {
+	case res.Error != "":
+		outcome = "error"
+	case res.Swapped:
+		outcome = "swapped"
+	}
+	s.obs.remineTotal.With(outcome).Inc()
+	s.obs.remineDur.ObserveSince(start)
 	s.lastRemineMu.Lock()
 	s.lastRemine = &res
 	s.lastRemineMu.Unlock()
@@ -393,7 +457,15 @@ func (s *server) runRemine(ctx context.Context) (res remineResult) {
 		res.Error = "no live tuples to mine rules from"
 		return res
 	}
-	set, err := discoverRules(ctx, rel, s.cfg)
+	lastFound := 0
+	set, err := discoverRules(ctx, rel, s.cfg, func(found int) {
+		// The hook reports the cumulative count; convert it to increments so
+		// the counter keeps rising monotonically across remine runs.
+		if found > lastFound {
+			s.obs.rulesStreamed.Add(uint64(found - lastFound))
+			lastFound = found
+		}
+	})
 	if err != nil {
 		res.Error = err.Error()
 		return res
@@ -410,7 +482,7 @@ func (s *server) runRemine(ctx context.Context) (res remineResult) {
 	s.maybeCompact()
 	res.Swapped = true
 	res.Delta = delta.String()
-	fmt.Fprintf(os.Stderr, "cfdserve: remined %d tuples: %s\n", rel.Size(), delta)
+	s.logger().Info("remine swapped rules", "tuples", rel.Size(), "delta", delta.String(), "version", res.Version)
 	return res
 }
 
@@ -493,12 +565,12 @@ func (s *server) violations(w http.ResponseWriter, r *http.Request) {
 	if raw := q.Get("since"); raw != "" {
 		since, err := strconv.ParseUint(raw, 10, 64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("since %q is not an epoch", raw))
+			writeError(w, r, http.StatusBadRequest, codeBadRequest, fmt.Errorf("since %q is not an epoch", raw))
 			return
 		}
 		d, err := s.eng.Changes(since)
 		if err != nil {
-			writeError(w, http.StatusGone, codeCompacted, err)
+			writeError(w, r, http.StatusGone, codeCompacted, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"epoch": d.Epoch, "delta": newDeltaDoc(d)})
@@ -508,7 +580,7 @@ func (s *server) violations(w http.ResponseWriter, r *http.Request) {
 	out := toViolationJSON(rep.Violations)
 	lo, hi, next, err := pageWindow(q, len(out))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	resp := map[string]any{
@@ -533,14 +605,14 @@ func (s *server) violations(w http.ResponseWriter, r *http.Request) {
 func (s *server) stream(w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, codeInternal, errors.New("streaming is unsupported by this connection"))
+		writeError(w, r, http.StatusInternalServerError, codeInternal, errors.New("streaming is unsupported by this connection"))
 		return
 	}
 	cur := s.eng.Epoch()
 	if raw := r.URL.Query().Get("since"); raw != "" {
 		since, err := strconv.ParseUint(raw, 10, 64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("since %q is not an epoch", raw))
+			writeError(w, r, http.StatusBadRequest, codeBadRequest, fmt.Errorf("since %q is not an epoch", raw))
 			return
 		}
 		cur = since
@@ -551,6 +623,8 @@ func (s *server) stream(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	defer context.AfterFunc(s.shutdownCtx(), cancel)()
 
+	s.obs.sse.Inc()
+	defer s.obs.sse.Dec()
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
@@ -583,12 +657,12 @@ func (s *server) suspects(w http.ResponseWriter, r *http.Request) {
 	// never stalls writers.
 	rel, ids, err := s.eng.Relation()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, codeInternal, err)
+		writeError(w, r, http.StatusInternalServerError, codeInternal, err)
 		return
 	}
 	suspects, err := cleaning.Suspects(rel, s.eng.RuleSet())
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, codeInternal, err)
+		writeError(w, r, http.StatusInternalServerError, codeInternal, err)
 		return
 	}
 	out := make([]int, len(suspects))
@@ -599,7 +673,7 @@ func (s *server) suspects(w http.ResponseWriter, r *http.Request) {
 	sort.Ints(out)
 	lo, hi, next, err := pageWindow(r.URL.Query(), len(out))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	resp := map[string]any{"suspects": out[lo:hi]}
@@ -624,7 +698,7 @@ func (s *server) listTuples(w http.ResponseWriter, r *http.Request) {
 	if c := q.Get("cursor"); c != "" {
 		v, err := strconv.Atoi(c)
 		if err != nil || v < 0 {
-			writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("cursor %q is not a non-negative integer", c))
+			writeError(w, r, http.StatusBadRequest, codeBadRequest, fmt.Errorf("cursor %q is not a non-negative integer", c))
 			return
 		}
 		start = v
@@ -633,7 +707,7 @@ func (s *server) listTuples(w http.ResponseWriter, r *http.Request) {
 	if l := q.Get("limit"); l != "" {
 		v, err := strconv.Atoi(l)
 		if err != nil || v <= 0 {
-			writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("limit %q is not a positive integer", l))
+			writeError(w, r, http.StatusBadRequest, codeBadRequest, fmt.Errorf("limit %q is not a positive integer", l))
 			return
 		}
 		limit = v
@@ -659,7 +733,7 @@ type insertRequest struct {
 func (s *server) insert(w http.ResponseWriter, r *http.Request) {
 	var req insertRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("decoding body: %w", err))
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, fmt.Errorf("decoding body: %w", err))
 		return
 	}
 	rows := req.Rows
@@ -667,7 +741,7 @@ func (s *server) insert(w http.ResponseWriter, r *http.Request) {
 		rows = append(rows, req.Values)
 	}
 	if len(rows) == 0 {
-		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("body must carry \"values\" or \"rows\""))
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, fmt.Errorf("body must carry \"values\" or \"rows\""))
 		return
 	}
 	ops := make([]violation.Op, len(rows))
@@ -678,7 +752,7 @@ func (s *server) insert(w http.ResponseWriter, r *http.Request) {
 	// logged as one record) or none is.
 	ids, err := s.eng.ApplyBatch(ops)
 	if err != nil {
-		writeOpError(w, err)
+		writeOpError(w, r, err)
 		return
 	}
 	s.maybeCompact()
@@ -698,16 +772,16 @@ type batchRequest struct {
 func (s *server) batch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("decoding body: %w", err))
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, fmt.Errorf("decoding body: %w", err))
 		return
 	}
 	if len(req.Ops) == 0 {
-		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("body must carry a non-empty \"ops\" array"))
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, fmt.Errorf("body must carry a non-empty \"ops\" array"))
 		return
 	}
 	ids, err := s.eng.ApplyBatch(req.Ops)
 	if err != nil {
-		writeOpError(w, err)
+		writeOpError(w, r, err)
 		return
 	}
 	s.maybeCompact()
@@ -722,12 +796,12 @@ func (s *server) batch(w http.ResponseWriter, r *http.Request) {
 func (s *server) tuple(w http.ResponseWriter, r *http.Request) {
 	id, err := pathID(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	row, err := s.eng.Row(id)
 	if err != nil {
-		writeError(w, http.StatusNotFound, codeNotFound, err)
+		writeError(w, r, http.StatusNotFound, codeNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"id": id, "values": row})
@@ -736,12 +810,12 @@ func (s *server) tuple(w http.ResponseWriter, r *http.Request) {
 func (s *server) tupleViolations(w http.ResponseWriter, r *http.Request) {
 	id, err := pathID(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	rules, err := s.eng.TupleViolations(id)
 	if err != nil {
-		writeError(w, http.StatusNotFound, codeNotFound, err)
+		writeError(w, r, http.StatusNotFound, codeNotFound, err)
 		return
 	}
 	out := make([]string, len(rules))
@@ -754,20 +828,20 @@ func (s *server) tupleViolations(w http.ResponseWriter, r *http.Request) {
 func (s *server) update(w http.ResponseWriter, r *http.Request) {
 	id, err := pathID(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	var req insertRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("decoding body: %w", err))
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, fmt.Errorf("decoding body: %w", err))
 		return
 	}
 	if len(req.Values) == 0 {
-		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("body must carry \"values\""))
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, fmt.Errorf("body must carry \"values\""))
 		return
 	}
 	if err := s.eng.Update(id, req.Values...); err != nil {
-		writeOpError(w, err)
+		writeOpError(w, r, err)
 		return
 	}
 	s.maybeCompact()
@@ -777,11 +851,11 @@ func (s *server) update(w http.ResponseWriter, r *http.Request) {
 func (s *server) remove(w http.ResponseWriter, r *http.Request) {
 	id, err := pathID(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	if err := s.eng.Delete(id); err != nil {
-		writeOpError(w, err)
+		writeOpError(w, r, err)
 		return
 	}
 	s.maybeCompact()
@@ -837,7 +911,7 @@ func buildServing(cfg config) (*serving, error) {
 	}
 	if restored {
 		if cfg.rulesPath != "" || cfg.dataPath != "" || cfg.samplePath != "" {
-			fmt.Fprintf(os.Stderr, "cfdserve: state directory %s has a snapshot; ignoring -rules/-data/-sample\n", cfg.statePath)
+			slog.Warn("state directory has a snapshot; ignoring -rules/-data/-sample", "state_dir", cfg.statePath)
 		}
 	} else {
 		eng, err = loadEngine(cfg)
@@ -878,7 +952,7 @@ func loadEngine(cfg config) (*violation.Engine, error) {
 		}
 	case sampleRel != nil:
 		var err error
-		set, err = discoverRules(context.Background(), sampleRel, cfg)
+		set, err = discoverRules(context.Background(), sampleRel, cfg, nil)
 		if err != nil {
 			return nil, err
 		}

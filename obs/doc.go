@@ -1,0 +1,20 @@
+// Package obs is the zero-dependency observability layer of the serving
+// system: a concurrency-safe metrics registry (counters, gauges, histograms)
+// with Prometheus/OpenMetrics text exposition, structured logging helpers on
+// log/slog with per-request ids propagated via context, and ready-made
+// collectors that instrument a violation.Engine and violation.Store through
+// their observer hooks.
+//
+// The layering is deliberate: repro/violation defines the small observer
+// interfaces and never imports this package, so the engine stays importable
+// with no metrics at all and its hot path pays one atomic nil-check when
+// nothing is attached. This package implements those interfaces over a
+// Registry (InstrumentEngine, InstrumentStore); cmd/cfdserve wires the
+// registry to GET /metrics and adds the HTTP-layer series on top.
+//
+// Everything here is stdlib-only. The exposition format is the Prometheus
+// text format (readable by any Prometheus or OpenMetrics scraper); metric
+// names follow the repository convention checked by scripts/check_metrics.sh:
+// a cfd_ prefix, _total on counters, and a unit suffix (_seconds, _bytes,
+// _ops) on histograms.
+package obs

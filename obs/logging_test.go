@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]string{
+		"": "INFO", "info": "INFO", "debug": "DEBUG",
+		"warn": "WARN", "warning": "WARN", "error": "ERROR", "WARN": "WARN",
+	} {
+		lv, err := ParseLevel(in)
+		if err != nil {
+			t.Fatalf("ParseLevel(%q): %v", in, err)
+		}
+		if lv.String() != want {
+			t.Errorf("ParseLevel(%q) = %s, want %s", in, lv, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel(loud) must fail")
+	}
+}
+
+func TestNewLoggerRejectsBadInputs(t *testing.T) {
+	var b strings.Builder
+	if _, err := NewLogger(&b, "loud", "text"); err == nil {
+		t.Fatal("bad level must fail")
+	}
+	if _, err := NewLogger(&b, "info", "xml"); err == nil {
+		t.Fatal("bad format must fail")
+	}
+}
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	var b strings.Builder
+	log, err := NewLogger(&b, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hidden")
+	log.Warn("visible")
+	out := b.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "visible") {
+		t.Fatalf("level filtering broken:\n%s", out)
+	}
+}
+
+func TestLoggerJSONRequestID(t *testing.T) {
+	var b strings.Builder
+	log, err := NewLogger(&b, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithRequestID(context.Background(), "req-123")
+	log.InfoContext(ctx, "served", "status", 200)
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, b.String())
+	}
+	if rec["request_id"] != "req-123" {
+		t.Errorf("request_id = %v, want req-123", rec["request_id"])
+	}
+	if rec["msg"] != "served" {
+		t.Errorf("msg = %v", rec["msg"])
+	}
+}
+
+func TestLoggerTextRequestIDAndWithAttrs(t *testing.T) {
+	var b strings.Builder
+	log, err := NewLogger(&b, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WithAttrs/WithGroup must keep the request-id decoration.
+	log = log.With("component", "test").WithGroup("g")
+	log.InfoContext(WithRequestID(context.Background(), "abc"), "hello", "k", "v")
+	out := b.String()
+	for _, want := range []string{"request_id=abc", "component=test", "g.k=v"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log line missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoggerNoRequestID(t *testing.T) {
+	var b strings.Builder
+	log, _ := NewLogger(&b, "info", "text")
+	log.Info("plain")
+	if strings.Contains(b.String(), "request_id") {
+		t.Fatalf("no-id context must not emit request_id:\n%s", b.String())
+	}
+}
+
+func TestRequestIDHelpers(t *testing.T) {
+	if RequestID(context.Background()) != "" {
+		t.Fatal("empty context must yield empty id")
+	}
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("ids %q/%q are not 16 hex chars", a, b)
+	}
+	if a == b {
+		t.Fatalf("ids must be unique, got %q twice", a)
+	}
+}

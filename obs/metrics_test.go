@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(2.5)
+	g.Add(1.5)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %v, want 4", got)
+	}
+	g.Add(-10)
+	if got := g.Value(); got != -6 {
+		t.Fatalf("gauge = %v, want -6", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le semantics: a value equal to a
+// bucket's upper bound lands in that bucket (cumulative "less than or equal"),
+// a value above every bound lands only in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := []float64{0.001, 0.01, 0.1, 1}
+	cases := []struct {
+		value float64
+		// counts of the non-cumulative buckets (0.001, 0.01, 0.1, 1, +Inf)
+		want [5]uint64
+	}{
+		{0, [5]uint64{1, 0, 0, 0, 0}},
+		{0.0005, [5]uint64{1, 0, 0, 0, 0}},
+		{0.001, [5]uint64{1, 0, 0, 0, 0}}, // on the boundary: le includes it
+		{0.0010001, [5]uint64{0, 1, 0, 0, 0}},
+		{0.01, [5]uint64{0, 1, 0, 0, 0}},
+		{0.05, [5]uint64{0, 0, 1, 0, 0}},
+		{1, [5]uint64{0, 0, 0, 1, 0}},
+		{1.5, [5]uint64{0, 0, 0, 0, 1}},
+		{math.Inf(1), [5]uint64{0, 0, 0, 0, 1}},
+	}
+	for _, tc := range cases {
+		h := newHistogram(bounds)
+		h.Observe(tc.value)
+		for i := range tc.want {
+			if got := h.counts[i].Load(); got != tc.want[i] {
+				t.Errorf("Observe(%v): bucket %d = %d, want %d", tc.value, i, got, tc.want[i])
+			}
+		}
+		if h.Count() != 1 {
+			t.Errorf("Observe(%v): count = %d, want 1", tc.value, h.Count())
+		}
+	}
+}
+
+func TestHistogramSumAndDefaults(t *testing.T) {
+	h := newHistogram(nil) // nil buckets adopt DefBuckets
+	if len(h.bounds) != len(DefBuckets) {
+		t.Fatalf("default bounds = %d, want %d", len(h.bounds), len(DefBuckets))
+	}
+	h.Observe(0.25)
+	h.Observe(0.75)
+	if got := h.Sum(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("sum = %v, want 1.0", got)
+	}
+	if got := h.Count(); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+}
+
+func TestHistogramSortsBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 0.1, 10})
+	if h.bounds[0] != 0.1 || h.bounds[1] != 1 || h.bounds[2] != 10 {
+		t.Fatalf("bounds not sorted: %v", h.bounds)
+	}
+}
+
+func TestVecChildIdentity(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("cfd_test_total", "t", "kind")
+	a, b := v.With("x"), v.With("x")
+	if a != b {
+		t.Fatal("same label values must return the same child")
+	}
+	if v.With("y") == a {
+		t.Fatal("different label values must return different children")
+	}
+}
+
+func TestVecLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("cfd_test_total", "t", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity must panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines — child
+// creation, observations and exposition interleaved — and relies on -race to
+// catch unsynchronised access.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("cfd_conc_total", "c", "kind")
+	hv := r.HistogramVec("cfd_conc_seconds", "h", nil, "kind")
+	g := r.Gauge("cfd_conc_inflight", "g")
+	kinds := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := kinds[(w+i)%len(kinds)]
+				cv.With(k).Inc()
+				hv.With(k).Observe(float64(i) / 1000)
+				g.Add(1)
+				g.Add(-1)
+			}
+		}(w)
+	}
+	// Scrapes run concurrently with the writers.
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var sb discardWriter
+				if err := r.WriteText(&sb); err != nil {
+					t.Errorf("WriteText: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := uint64(0)
+	for _, k := range kinds {
+		total += cv.With(k).Value()
+	}
+	if total != 8*500 {
+		t.Fatalf("counter total = %d, want %d", total, 8*500)
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }

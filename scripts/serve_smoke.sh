@@ -226,4 +226,66 @@ kill -TERM "$PID"
 wait "$PID" || fail "post-compaction server did not exit cleanly on SIGTERM"
 trap - EXIT
 
+# --- Observability leg: /metrics, request ids, health state, pprof. ---
+DEBUG_ADDR="${CFDSERVE_DEBUG_ADDR:-127.0.0.1:18081}"
+
+"$BIN" -addr "$ADDR" -state "$STATE" -debug-addr "$DEBUG_ADDR" -log-format json &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+i=0
+until curl -fs "$BASE/health" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -lt 50 ] || fail "observed server did not come up on $ADDR"
+	sleep 0.1
+done
+
+# Every API response carries a request id; a well-formed client id is echoed.
+curl -fsi "$BASE/v1/health" | grep -qi '^x-request-id: ' \
+	|| fail "/v1/health must answer with an X-Request-Id header"
+curl -fsi -H 'X-Request-Id: smoke-trace-1' "$BASE/v1/health" \
+	| grep -qi '^x-request-id: smoke-trace-1' \
+	|| fail "a well-formed client X-Request-Id must be echoed"
+
+# Health reports the in-flight observability state.
+health="$(curl -fs "$BASE/v1/health" | tr -d ' \n')"
+echo "$health" | grep -q '"compacting":false' || fail "health must report compacting: $health"
+echo "$health" | grep -q '"remine_running":false' || fail "health must report remine_running: $health"
+echo "$health" | grep -q '"delta_ring":{' || fail "health must report the delta ring: $health"
+
+# A mutation through the API, so commit and WAL series are non-zero.
+curl -fs -X POST "$BASE/v1/tuples" \
+	-H 'Content-Type: application/json' \
+	-d '{"values":["01","212","9999999","Ann","5th Ave","NYC","01202"]}' >/dev/null \
+	|| fail "insert on the observed server failed"
+
+metrics="$(curl -fs "$BASE/metrics")"
+echo "$metrics" | grep -q '^cfd_engine_commits_total{kind="insert"} 1$' \
+	|| fail "insert commit counter did not move in /metrics"
+echo "$metrics" | grep -q '^cfd_wal_appends_total{result="ok"} 1$' \
+	|| fail "WAL append counter did not move in /metrics"
+echo "$metrics" | grep -Eq '^cfd_engine_tuples [0-9]+$' \
+	|| fail "engine tuple gauge missing from /metrics"
+echo "$metrics" | grep -q '^cfd_engine_delta_ring_capacity ' \
+	|| fail "delta ring gauge missing from /metrics"
+echo "$metrics" | grep -q 'cfd_http_requests_total{route="/tuples",method="POST",code="2xx"} 1' \
+	|| fail "HTTP request counter did not move in /metrics"
+echo "$metrics" | grep -q '^cfd_http_request_duration_seconds_bucket' \
+	|| fail "HTTP duration histogram missing from /metrics"
+case "$metrics" in
+*"# EOF") ;;
+*) fail "/metrics must end with the OpenMetrics EOF trailer" ;;
+esac
+
+# The pprof surface answers on the debug listener only.
+curl -fs "http://$DEBUG_ADDR/debug/pprof/" | grep -q 'profiles' \
+	|| fail "pprof index not served on -debug-addr"
+if curl -fs "$BASE/debug/pprof/" >/dev/null 2>&1; then
+	fail "pprof must not leak onto the serving address"
+fi
+
+kill -TERM "$PID"
+wait "$PID" || fail "observed server did not exit cleanly on SIGTERM"
+trap - EXIT
+
 echo "serve-smoke: OK"

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/pool"
 )
@@ -90,6 +91,11 @@ func (e *Engine) ApplyBatch(ops []Op) ([]int, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
+	obs := e.obs()
+	var obsStart time.Time
+	if obs != nil {
+		obsStart = time.Now()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	resolved, ids, err := e.resolve(ops)
@@ -103,6 +109,13 @@ func (e *Engine) ApplyBatch(ops []Op) ([]int, error) {
 	}
 	e.apply(resolved)
 	e.bumpLocked()
+	if obs != nil {
+		kind := "batch"
+		if len(ops) == 1 {
+			kind = string(ops[0].Kind)
+		}
+		obs.ObserveCommit(kind, len(ops), time.Since(obsStart).Seconds())
+	}
 	return ids, nil
 }
 

@@ -246,6 +246,9 @@ func (e *Engine) recordDelta(added, removed []Violation, newRules []cfd.CFD) {
 		e.deltas[d.Epoch%uint64(len(e.deltas))] = d
 		if e.deltaN < len(e.deltas) {
 			e.deltaN++
+		} else {
+			// Ring full: this write overwrote the oldest answerable epoch.
+			e.deltaEvictions.Add(1)
 		}
 	}
 }
@@ -310,7 +313,13 @@ func (e *Engine) rebaseEpochLocked(n uint64) {
 func (e *Engine) Changes(since uint64) (*Delta, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return e.changesLocked(since)
+	d, err := e.changesLocked(since)
+	if err != nil {
+		// Counted here, not in changesLocked: the snapshot patcher probing the
+		// ring internally is not a client forced to resync.
+		e.deltaCompacted.Add(1)
+	}
+	return d, err
 }
 
 // changesLocked is Changes with mu already held (either way).
@@ -334,6 +343,12 @@ func (e *Engine) changesLocked(since uint64) (*Delta, error) {
 // ctx.Err()). It is the long-poll primitive behind the serving layer's delta
 // stream: wait, then Changes(since), then follow the returned epoch.
 func (e *Engine) WaitChange(ctx context.Context, since uint64) (uint64, error) {
+	waiting := false
+	defer func() {
+		if waiting {
+			e.waiters.Add(-1)
+		}
+	}()
 	for {
 		e.mu.RLock()
 		cur := e.epoch.Load()
@@ -341,6 +356,10 @@ func (e *Engine) WaitChange(ctx context.Context, since uint64) (uint64, error) {
 		e.mu.RUnlock()
 		if cur != since {
 			return cur, nil
+		}
+		if !waiting {
+			waiting = true
+			e.waiters.Add(1)
 		}
 		select {
 		case <-ctx.Done():

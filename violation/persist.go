@@ -9,6 +9,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/pool"
 	"repro/rules"
@@ -53,6 +55,9 @@ type Store struct {
 	snapSeq  uint64 // WAL sequence the current snapshot file includes
 	snapFile *snapshotFile
 	pending  int // ops appended since the last compaction
+
+	// obsV holds the optional StoreObserver (boxed; see obs.go).
+	obsV atomic.Value
 }
 
 // StoreOptions configures a Store.
@@ -217,7 +222,13 @@ func (st *Store) AppendRules(set *rules.Set) error {
 // commit appends one record (its Seq is assigned here) with the usual
 // all-or-nothing contract: on any error the log is truncated back to the
 // previous record boundary.
-func (st *Store) commit(rec walRecord) error {
+func (st *Store) commit(rec walRecord) (err error) {
+	obs := st.obs()
+	var obsStart time.Time
+	if obs != nil {
+		obsStart = time.Now()
+		defer func() { obs.ObserveWALAppend(rec.cost(), time.Since(obsStart).Seconds(), err) }()
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	rec.Seq = st.seq + 1
@@ -233,10 +244,17 @@ func (st *Store) commit(rec walRecord) error {
 		return err
 	}
 	if st.sync {
+		var fsyncStart time.Time
+		if obs != nil {
+			fsyncStart = time.Now()
+		}
 		if err := st.wal.Sync(); err != nil {
 			_ = st.wal.Truncate(st.walOff)
 			_, _ = st.wal.Seek(st.walOff, io.SeekStart)
 			return err
+		}
+		if obs != nil {
+			obs.ObserveWALFsync(time.Since(fsyncStart).Seconds())
 		}
 	}
 	st.walOff += int64(len(line))
@@ -318,6 +336,21 @@ func (st *Store) replay(e *Engine) error {
 // unlocked), and replay skips folded records by sequence number, so a crash
 // anywhere in the procedure is recoverable.
 func (st *Store) Compact(e *Engine) error {
+	obs := st.obs()
+	var obsStart time.Time
+	if obs != nil {
+		obsStart = time.Now()
+	}
+	bytes, err := st.compact(e)
+	if obs != nil {
+		obs.ObserveCompaction(bytes, time.Since(obsStart).Seconds(), err)
+	}
+	return err
+}
+
+// compact is Compact's body; it returns the encoded snapshot size for the
+// observer (0 when the failure preceded encoding).
+func (st *Store) compact(e *Engine) (int, error) {
 	st.compactMu.Lock()
 	defer st.compactMu.Unlock()
 	file := snapshotFile{Format: currentFormat}
@@ -355,35 +388,35 @@ func (st *Store) Compact(e *Engine) error {
 	}
 	data, err := json.Marshal(&file)
 	if err != nil {
-		return fmt.Errorf("violation: compacting: %w", err)
+		return 0, fmt.Errorf("violation: compacting: %w", err)
 	}
 	tmp, err := os.CreateTemp(st.dir, snapshotName+".tmp*")
 	if err != nil {
-		return fmt.Errorf("violation: compacting: %w", err)
+		return len(data), fmt.Errorf("violation: compacting: %w", err)
 	}
 	defer os.Remove(tmp.Name())
 	if _, err := tmp.Write(append(data, '\n')); err != nil {
 		tmp.Close()
-		return fmt.Errorf("violation: compacting: %w", err)
+		return len(data), fmt.Errorf("violation: compacting: %w", err)
 	}
 	if st.sync {
 		if err := tmp.Sync(); err != nil {
 			tmp.Close()
-			return fmt.Errorf("violation: compacting: %w", err)
+			return len(data), fmt.Errorf("violation: compacting: %w", err)
 		}
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("violation: compacting: %w", err)
+		return len(data), fmt.Errorf("violation: compacting: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), filepath.Join(st.dir, snapshotName)); err != nil {
-		return fmt.Errorf("violation: compacting: %w", err)
+		return len(data), fmt.Errorf("violation: compacting: %w", err)
 	}
 	if st.sync {
 		// Make the rename itself durable before any WAL shrinking below:
 		// otherwise a power cut could resurface the old snapshot next to an
 		// already-shortened log.
 		if err := syncDir(st.dir); err != nil {
-			return fmt.Errorf("violation: compacting: %w", err)
+			return len(data), fmt.Errorf("violation: compacting: %w", err)
 		}
 	}
 
@@ -394,20 +427,20 @@ func (st *Store) Compact(e *Engine) error {
 	if st.seq == file.WalSeq {
 		// Nothing landed since the capture: the whole log is folded in.
 		if err := st.wal.Truncate(0); err != nil {
-			return fmt.Errorf("violation: truncating %s: %w", walName, err)
+			return len(data), fmt.Errorf("violation: truncating %s: %w", walName, err)
 		}
 		if _, err := st.wal.Seek(0, io.SeekStart); err != nil {
-			return fmt.Errorf("violation: truncating %s: %w", walName, err)
+			return len(data), fmt.Errorf("violation: truncating %s: %w", walName, err)
 		}
 		st.walOff = 0
 		st.pending = 0
-		return nil
+		return len(data), nil
 	}
 	// Appends landed while the snapshot was being written: rewrite the log
 	// down to the unfolded tail so it cannot grow without bound under
 	// sustained traffic. On any error the full log is kept — folded records
 	// are harmless, replay skips them by sequence number.
-	return st.rewriteTailLocked(file.WalSeq)
+	return len(data), st.rewriteTailLocked(file.WalSeq)
 }
 
 // rewriteTailLocked replaces the WAL with only the records above keepAbove,

@@ -3,6 +3,7 @@ package violation
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/cfd"
 	"repro/internal/core"
@@ -37,6 +38,11 @@ type RuleCommitLog interface {
 func (e *Engine) SwapRules(ctx context.Context, set *rules.Set) (rules.Delta, error) {
 	if set == nil {
 		set = rules.Of()
+	}
+	obs := e.obs()
+	var obsStart time.Time
+	if obs != nil {
+		obsStart = time.Now()
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -134,5 +140,8 @@ func (e *Engine) SwapRules(ctx context.Context, set *rules.Set) (rules.Delta, er
 	e.indexes = newIndexes
 	e.shards = shardIndexes(len(newIndexes), e.shardOpt, e.workers)
 	e.bumpLocked()
+	if obs != nil {
+		obs.ObserveSwap(len(delta.Added), len(delta.Removed), len(delta.Retained), time.Since(obsStart).Seconds())
+	}
 	return delta, nil
 }

@@ -58,6 +58,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/cfd"
 	"repro/internal/core"
@@ -171,6 +172,11 @@ type Engine struct {
 	deltaN   int
 	dirtyRef map[int]int
 	watch    chan struct{}
+
+	// obsV holds the optional EngineObserver (boxed; see obs.go); obsCounters
+	// are the always-on internal event counters behind DeltaStats.
+	obsV atomic.Value
+	obsCounters
 }
 
 // snapshot is one immutable view of the violation state, shared by every
@@ -371,6 +377,11 @@ func (e *Engine) BulkLoad(rel *cfd.Relation) error {
 // BulkLoadContext is BulkLoad under a context. A cancelled load returns
 // ctx.Err() and leaves the engine partially loaded; discard it.
 func (e *Engine) BulkLoadContext(ctx context.Context, rel *cfd.Relation) error {
+	obs := e.obs()
+	var obsStart time.Time
+	if obs != nil {
+		obsStart = time.Now()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	// A bulk load is not delta-tracked: the commit resets the delta ring
@@ -411,7 +422,7 @@ func (e *Engine) BulkLoadContext(ctx context.Context, rel *cfd.Relation) error {
 		e.rows = append(e.rows, row)
 		e.live++
 	}
-	return pool.Each(ctx, e.workers, len(e.shards), func(_, s int) {
+	err := pool.Each(ctx, e.workers, len(e.shards), func(_, s int) {
 		for _, ri := range e.shards[s] {
 			ix := e.indexes[ri]
 			for id := start; id < len(e.rows); id++ {
@@ -419,6 +430,10 @@ func (e *Engine) BulkLoadContext(ctx context.Context, rel *cfd.Relation) error {
 			}
 		}
 	})
+	if err == nil && obs != nil {
+		obs.ObserveCommit("bulkload", rel.Size(), time.Since(obsStart).Seconds())
+	}
+	return err
 }
 
 // Size returns the number of live tuples.
@@ -533,6 +548,11 @@ func (e *Engine) snapshot() *snapshot {
 	if s := e.snap.Load(); s != nil && s.epoch == e.epoch.Load() {
 		return s
 	}
+	obs := e.obs()
+	var obsStart time.Time
+	if obs != nil {
+		obsStart = time.Now()
+	}
 	e.mu.RLock()
 	// The epoch is stable while the read lock is held: writers bump it under
 	// the write lock. The rule and index tables are captured here too — a
@@ -552,6 +572,9 @@ func (e *Engine) snapshot() *snapshot {
 			}, ruleTable)
 			s := &snapshot{epoch: epoch, violations: rep.Violations, dirty: rep.DirtyTuples, rules: rep.RulesChecked}
 			e.snap.Store(s)
+			if obs != nil {
+				obs.ObserveSnapshot(true, time.Since(obsStart).Seconds())
+			}
 			return s
 		}
 	}
@@ -580,6 +603,9 @@ func (e *Engine) snapshot() *snapshot {
 	}
 	sort.Ints(s.dirty)
 	e.snap.Store(s)
+	if obs != nil {
+		obs.ObserveSnapshot(false, time.Since(obsStart).Seconds())
+	}
 	return s
 }
 
