@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet staticcheck docs-check fuzz cover ci clean serve-smoke obs-smoke
+.PHONY: all build test race bench fmt vet staticcheck docs-check fuzz cover ci clean serve-smoke obs-smoke cluster-smoke
 
 all: build
 
@@ -86,7 +86,14 @@ obs-smoke:
 	./scripts/check_metrics.sh
 	./scripts/serve_smoke.sh
 
-ci: fmt vet staticcheck build race cover fuzz docs-check bench obs-smoke
+# cluster-smoke boots three shard nodes, a coordinator and a single-node
+# oracle, drives the same writes through coordinator and oracle and asserts
+# byte-identical merged reads, then exercises the two-phase rule swap, a
+# SIGKILLed shard (degraded health, fail-closed 503) and its recovery.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
+
+ci: fmt vet staticcheck build race cover fuzz docs-check bench obs-smoke cluster-smoke
 
 clean:
 	rm -f BENCH_ci.txt BENCH_ci.json cover_violation.out cover_rules.out

@@ -1,0 +1,294 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/violation"
+)
+
+// WriteResult summarises a routed write: the ids assigned to inserts (in op
+// order) and the fleet tuple/dirty aggregates of the touched shards' answers
+// (point-in-time approximations; Health has the authoritative sums).
+type WriteResult struct {
+	IDs []int
+}
+
+// owner locates the shard holding a live tuple id by scattering the point
+// read. A definite miss everywhere is a 404 *APIError; an unreachable shard
+// makes the answer unknowable and fails closed.
+func (c *Cluster) owner(ctx context.Context, id int) (int, TupleDoc, error) {
+	type hit struct {
+		shard int
+		doc   TupleDoc
+	}
+	var (
+		mu    sync.Mutex
+		found *hit
+	)
+	err := c.scatter("tuples", func(i int, s *ShardClient) error {
+		doc, err := s.GetTuple(ctx, id)
+		if err == nil {
+			mu.Lock()
+			found = &hit{shard: i, doc: doc}
+			mu.Unlock()
+			return nil
+		}
+		var api *APIError
+		if errors.As(err, &api) && api.Status == http.StatusNotFound {
+			return nil // a definite "not mine"
+		}
+		return err
+	})
+	if found != nil {
+		// The owner answered; another shard being down cannot change the
+		// answer (every id lives on exactly one shard).
+		return found.shard, found.doc, nil
+	}
+	if err != nil {
+		return 0, TupleDoc{}, err
+	}
+	return 0, TupleDoc{}, coordErr(http.StatusNotFound, "not_found", "violation: tuple %d: tuple not found", id)
+}
+
+// Get reads one tuple by global id.
+func (c *Cluster) Get(ctx context.Context, id int) (TupleDoc, error) {
+	_, doc, err := c.owner(ctx, id)
+	return doc, err
+}
+
+// TupleViolations reads the rules one tuple currently violates.
+func (c *Cluster) TupleViolations(ctx context.Context, id int) (TupleViolationsDoc, error) {
+	shard, _, err := c.owner(ctx, id)
+	if err != nil {
+		return TupleViolationsDoc{}, err
+	}
+	return c.shards[shard].TupleViolations(ctx, id)
+}
+
+// checkArity validates rows against the schema before any id is consumed or
+// any shard touched, mirroring the single node's all-or-nothing validation.
+func (c *Cluster) checkArity(rows [][]string) error {
+	c.mu.Lock()
+	arity := len(c.part.Schema())
+	c.mu.Unlock()
+	for _, row := range rows {
+		if len(row) != arity {
+			return coordErr(http.StatusUnprocessableEntity, "unprocessable",
+				"violation: tuple has %d values, schema has %d attributes", len(row), arity)
+		}
+	}
+	return nil
+}
+
+// Insert routes rows to their owning shards, assigning global ids in row
+// order exactly like a single node, and applies one atomic pinned batch per
+// shard. A failure rolls the already-inserted rows back (deleting them from
+// their shards); the burned ids are never reused. A coordinator crash
+// mid-insert can leave a multi-shard insert partially applied — per-shard
+// batches are atomic, the cross-shard composition is not.
+func (c *Cluster) Insert(ctx context.Context, rows [][]string) (WriteResult, error) {
+	if err := c.checkArity(rows); err != nil {
+		return WriteResult{}, err
+	}
+	base := int(c.nextID.Add(int64(len(rows)))) - len(rows)
+	ids := make([]int, len(rows))
+	perShard := make(map[int][]violation.Op)
+	for r, row := range rows {
+		id := base + r
+		ids[r] = id
+		shard := c.route(row)
+		at := id
+		perShard[shard] = append(perShard[shard], violation.Op{Kind: violation.OpInsert, Values: row, At: &at})
+	}
+	var done []int // shards whose batch landed, in apply order
+	for shard, ops := range perShard {
+		if _, err := c.shards[shard].Batch(ctx, ops); err != nil {
+			c.rollbackInserts(ctx, perShard, done)
+			return WriteResult{}, err
+		}
+		done = append(done, shard)
+	}
+	return WriteResult{IDs: ids}, nil
+}
+
+// rollbackInserts deletes the rows of already-applied per-shard insert
+// batches — best effort; a failure leaves orphans that a re-run of the
+// failed insert cannot collide with (their ids are burned).
+func (c *Cluster) rollbackInserts(ctx context.Context, perShard map[int][]violation.Op, done []int) {
+	for _, shard := range done {
+		var ops []violation.Op
+		for _, op := range perShard[shard] {
+			ops = append(ops, violation.Op{Kind: violation.OpDelete, ID: *op.At})
+		}
+		if _, err := c.shards[shard].Batch(ctx, ops); err != nil && c.obs != nil {
+			c.obs.ObserveScatterError("rollback")
+		}
+	}
+}
+
+// Update replaces one tuple's values, keeping its id. When the new values
+// hash to the tuple's current shard it is a plain in-place update; when
+// they hash elsewhere the tuple moves — a pinned insert on the new shard,
+// then a delete on the old, with a best-effort rollback of the insert if
+// the delete fails. The move is not atomic under a coordinator crash; both
+// halves are WAL-logged on their shards.
+func (c *Cluster) Update(ctx context.Context, id int, values []string) error {
+	if err := c.checkArity([][]string{values}); err != nil {
+		return err
+	}
+	from, _, err := c.owner(ctx, id)
+	if err != nil {
+		return err
+	}
+	return c.moveOrUpdate(ctx, id, from, values)
+}
+
+// moveOrUpdate applies an update whose current owner is already known.
+func (c *Cluster) moveOrUpdate(ctx context.Context, id, from int, values []string) error {
+	to := c.route(values)
+	if to == from {
+		_, err := c.shards[from].Batch(ctx, []violation.Op{{Kind: violation.OpUpdate, ID: id, Values: values}})
+		return err
+	}
+	at := id
+	if _, err := c.shards[to].Batch(ctx, []violation.Op{{Kind: violation.OpInsert, Values: values, At: &at}}); err != nil {
+		return err
+	}
+	if _, err := c.shards[from].Batch(ctx, []violation.Op{{Kind: violation.OpDelete, ID: id}}); err != nil {
+		// Undo the insert so the id does not exist twice.
+		if _, rbErr := c.shards[to].Batch(ctx, []violation.Op{{Kind: violation.OpDelete, ID: id}}); rbErr != nil {
+			return fmt.Errorf("%w: moving tuple %d: delete on %s failed (%v) and rollback on %s failed (%v) — the id exists on both shards until repaired",
+				ErrUnavailable, id, c.shards[from].URL(), err, c.shards[to].URL(), rbErr)
+		}
+		return err
+	}
+	return nil
+}
+
+// Delete removes one tuple by global id.
+func (c *Cluster) Delete(ctx context.Context, id int) error {
+	shard, _, err := c.owner(ctx, id)
+	if err != nil {
+		return err
+	}
+	_, err = c.shards[shard].Batch(ctx, []violation.Op{{Kind: violation.OpDelete, ID: id}})
+	return err
+}
+
+// Batch applies a mixed op sequence in order. Consecutive ops for the same
+// shard coalesce into one atomic shard batch (one WAL record there); the
+// cross-shard sequence is applied group by group and is NOT atomic — a
+// failure leaves the already-flushed prefix applied and reports which op
+// failed. Inserts are assigned global ids in op order, identical to a
+// single node fed the same sequence; explicit "at" pins are refused (ids
+// are the coordinator's to assign). Deletes and updates of ids assigned
+// earlier in the same batch are resolved locally, so the usual
+// insert-then-refine batches need no extra shard reads.
+func (c *Cluster) Batch(ctx context.Context, ops []violation.Op) (WriteResult, error) {
+	// Validate before consuming ids: op kinds, arity, no pins.
+	for i, op := range ops {
+		switch op.Kind {
+		case violation.OpInsert:
+			if op.At != nil {
+				return WriteResult{}, coordErr(http.StatusUnprocessableEntity, "unprocessable",
+					"batch op %d: the coordinator assigns ids; \"at\" is not accepted", i)
+			}
+			if err := c.checkArity([][]string{op.Values}); err != nil {
+				return WriteResult{}, err
+			}
+		case violation.OpUpdate:
+			if err := c.checkArity([][]string{op.Values}); err != nil {
+				return WriteResult{}, err
+			}
+		case violation.OpDelete:
+		default:
+			return WriteResult{}, coordErr(http.StatusUnprocessableEntity, "unprocessable",
+				"batch op %d: violation: unknown op kind %q", i, op.Kind)
+		}
+	}
+
+	var res WriteResult
+	owners := make(map[int]int) // ids this batch placed or located: id -> shard
+	var pending []violation.Op
+	pendingShard := -1
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		_, err := c.shards[pendingShard].Batch(ctx, pending)
+		pending, pendingShard = nil, -1
+		return err
+	}
+	enqueue := func(shard int, op violation.Op) error {
+		if pendingShard != shard {
+			if err := flush(); err != nil {
+				return err
+			}
+			pendingShard = shard
+		}
+		pending = append(pending, op)
+		return nil
+	}
+	locate := func(id int) (int, error) {
+		if shard, ok := owners[id]; ok {
+			return shard, nil
+		}
+		// The id predates this batch; ops touching it so far are flushed
+		// before the scatter read so the read observes them.
+		if err := flush(); err != nil {
+			return 0, err
+		}
+		shard, _, err := c.owner(ctx, id)
+		if err != nil {
+			return 0, err
+		}
+		owners[id] = shard
+		return shard, nil
+	}
+	for _, op := range ops {
+		switch op.Kind {
+		case violation.OpInsert:
+			id := int(c.nextID.Add(1)) - 1
+			shard := c.route(op.Values)
+			at := id
+			if err := enqueue(shard, violation.Op{Kind: violation.OpInsert, Values: op.Values, At: &at}); err != nil {
+				return res, err
+			}
+			owners[id] = shard
+			res.IDs = append(res.IDs, id)
+		case violation.OpDelete:
+			shard, err := locate(op.ID)
+			if err != nil {
+				return res, err
+			}
+			if err := enqueue(shard, op); err != nil {
+				return res, err
+			}
+		case violation.OpUpdate:
+			from, err := locate(op.ID)
+			if err != nil {
+				return res, err
+			}
+			to := c.route(op.Values)
+			if to == from {
+				if err := enqueue(from, op); err != nil {
+					return res, err
+				}
+				continue
+			}
+			// A cross-shard move cannot coalesce: flush, then move.
+			if err := flush(); err != nil {
+				return res, err
+			}
+			if err := c.moveOrUpdate(ctx, op.ID, from, op.Values); err != nil {
+				return res, err
+			}
+			owners[op.ID] = to
+		}
+	}
+	return res, flush()
+}

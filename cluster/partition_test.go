@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/rules"
+)
+
+// parse builds a rule set from the cfddiscover text format.
+func parse(t *testing.T, text string) *rules.Set {
+	t.Helper()
+	set, err := rules.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+var custSchema = []string{"CC", "AC", "PN", "NM", "STR", "CT", "ZIP"}
+
+func TestDeriveKey(t *testing.T) {
+	cases := []struct {
+		name  string
+		rules string
+		want  []string
+	}{
+		{
+			// Intersection of {CC,AC} and {CC,ZIP}, in schema order.
+			name:  "shared attribute",
+			rules: "([CC,AC] -> CT, (_, _ || _))\n([CC,ZIP] -> STR, (_, _ || _))",
+			want:  []string{"CC"},
+		},
+		{
+			// A constant rule constrains the key exactly like a variable one:
+			// its violating sets are whole LHS groups too.
+			name:  "constant-only rule",
+			rules: "([CC,AC] -> CT, (44, 131 || EDI))\n([CC,ZIP] -> STR, (_, _ || _))",
+			want:  []string{"CC"},
+		},
+		{
+			// Disjoint LHS attributes: no key is usable; everything must
+			// co-locate on shard 0.
+			name:  "disjoint LHS",
+			rules: "([AC] -> CT, (131 || EDI))\n([CC,ZIP] -> STR, (_, _ || _))",
+			want:  nil,
+		},
+		{
+			// Identical LHS: the whole LHS is the key.
+			name:  "identical LHS",
+			rules: "([CC,ZIP] -> STR, (_, _ || _))\n([CC,ZIP] -> CT, (_, _ || _))",
+			want:  []string{"CC", "ZIP"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := DeriveKey(custSchema, parse(t, tc.rules))
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("DeriveKey = %v, want %v", got, tc.want)
+			}
+		})
+	}
+
+	// No rules: any placement is exact, so the widest key — the full schema.
+	empty := rules.New(nil, rules.Provenance{})
+	if got := DeriveKey(custSchema, empty); !reflect.DeepEqual(got, custSchema) {
+		t.Fatalf("DeriveKey(no rules) = %v, want the full schema", got)
+	}
+}
+
+func TestNewPartitionerValidation(t *testing.T) {
+	if _, err := NewPartitioner(custSchema, []string{"CC", "NOPE"}); err == nil || !strings.Contains(err.Error(), "NOPE") {
+		t.Fatalf("unknown key attribute: err = %v", err)
+	}
+	if _, err := NewPartitioner(custSchema, []string{"CC", "CC"}); err == nil || !strings.Contains(err.Error(), "duplicated") {
+		t.Fatalf("duplicate key attribute: err = %v", err)
+	}
+	if _, err := NewPartitioner(custSchema, nil); err != nil {
+		t.Fatalf("empty key must be legal: %v", err)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	p, err := NewPartitioner(custSchema, []string{"CC"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Check(parse(t, "([CC,AC] -> CT, (_, _ || _))\n([CC,ZIP] -> STR, (_, _ || _))")); err != nil {
+		t.Fatalf("rules containing the key must pass: %v", err)
+	}
+	// A rule whose LHS misses the key cannot be served exactly: its groups
+	// would span shards.
+	err = p.Check(parse(t, "([AC] -> CT, (131 || EDI))"))
+	if err == nil || !strings.Contains(err.Error(), `"CC"`) {
+		t.Fatalf("rule missing the key attribute: err = %v", err)
+	}
+
+	// The empty key accepts everything (all tuples co-locate).
+	p0, err := NewPartitioner(custSchema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p0.Check(parse(t, "([AC] -> CT, (131 || EDI))\n([CC,ZIP] -> STR, (_, _ || _))")); err != nil {
+		t.Fatalf("empty key must accept any rules: %v", err)
+	}
+}
+
+// TestRouteStability pins the placement function. These values must NEVER
+// change: every shard's on-disk state (WAL + snapshots) is laid out by them,
+// so a routing change silently orphans tuples on restart.
+func TestRouteStability(t *testing.T) {
+	one, err := NewPartitioner(custSchema, []string{"CC"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := NewPartitioner(custSchema, []string{"CC", "ZIP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := func(cc, zip string) []string {
+		return []string{cc, "908", "1111111", "Mike", "Tree Ave.", "MH", zip}
+	}
+	cases := []struct {
+		p            *Partitioner
+		cc, zip      string
+		want3, want5 int
+	}{
+		{one, "01", "07974", 2, 2},
+		{one, "44", "EH4 1DT", 0, 4},
+		{two, "01", "07974", 0, 3},
+		{two, "01", "01202", 2, 3},
+		{two, "44", "EH4 1DT", 2, 1},
+	}
+	for _, tc := range cases {
+		if got := tc.p.Route(row(tc.cc, tc.zip), 3); got != tc.want3 {
+			t.Errorf("Route(key=%v, cc=%s zip=%s, 3 shards) = %d, want %d", tc.p.Key(), tc.cc, tc.zip, got, tc.want3)
+		}
+		if got := tc.p.Route(row(tc.cc, tc.zip), 5); got != tc.want5 {
+			t.Errorf("Route(key=%v, cc=%s zip=%s, 5 shards) = %d, want %d", tc.p.Key(), tc.cc, tc.zip, got, tc.want5)
+		}
+	}
+}
+
+// TestRouteLengthPrefix: the length prefix keeps distinct key value lists
+// from colliding by concatenation ("ab"+"" vs "a"+"b").
+func TestRouteLengthPrefix(t *testing.T) {
+	schema := []string{"A", "B"}
+	p, err := NewPartitioner(schema, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 5
+	if a, b := p.Route([]string{"a", "b"}, shards), p.Route([]string{"ab", ""}, shards); a == b {
+		t.Fatalf("concatenation collision: both route to %d", a)
+	}
+}
+
+func TestRouteDegenerate(t *testing.T) {
+	p, err := NewPartitioner(custSchema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := []string{"01", "908", "1111111", "Mike", "Tree Ave.", "MH", "07974"}
+	if got := p.Route(row, 3); got != 0 {
+		t.Fatalf("empty key must route everything to shard 0, got %d", got)
+	}
+	full, err := NewPartitioner(custSchema, []string{"CC"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := full.Route(row, 1); got != 0 {
+		t.Fatalf("single shard must be 0, got %d", got)
+	}
+}

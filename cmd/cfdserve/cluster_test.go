@@ -1,0 +1,398 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The cluster fixtures: the cust schema with rules sharing the CC attribute,
+// so the derived partition key is [CC] and a multi-shard placement is exact.
+// (The single-node fixture rules have disjoint LHS — a legal cluster would
+// collapse them onto one shard, which exercises nothing.)
+var clusterSchema = []string{"CC", "AC", "PN", "NM", "STR", "CT", "ZIP"}
+
+const clusterRules = "([CC,AC] -> CT, (_, _ || _))\n([CC,ZIP] -> STR, (_, _ || _))\n"
+
+// newShardNode boots one single-node cfdserve over the cluster fixtures —
+// empty, memory-only — exactly as a shard of the smoke-test fleet would run.
+func newShardNode(t *testing.T, rules string) *httptest.Server {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "rules.txt")
+	if err := os.WriteFile(path, []byte(rules), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := loadEngine(config{rulesPath: path, schema: clusterSchema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(eng, nil, config{logw: io.Discard}).handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// newCoord forms a coordinator over the given shard URLs and serves it.
+func newCoord(t *testing.T, urls []string) (*coordServer, *httptest.Server) {
+	t.Helper()
+	cs, err := newCoordinator(context.Background(), config{
+		shardURLs:    urls,
+		shardTimeout: 2 * time.Second,
+		initWait:     5 * time.Second,
+		logw:         io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(cs.handler())
+	t.Cleanup(ts.Close)
+	return cs, ts
+}
+
+// canonicalReport strips a /v1/violations response to the fields both
+// serving modes share — violations, dirty, rules_checked — re-marshalled so
+// two equal reports are byte-identical.
+func canonicalReport(t *testing.T, doc map[string]any) string {
+	t.Helper()
+	b, err := json.Marshal(map[string]any{
+		"violations":    doc["violations"],
+		"dirty":         doc["dirty"],
+		"rules_checked": doc["rules_checked"],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestClusterOracle drives an identical randomized op sequence through a
+// 3-shard coordinator and a single node and requires byte-identical merged
+// reports at every checkpoint: same assigned ids, same violations (per-rule
+// tuple sets in rule order), same dirty set, same suspects, same tuple
+// listing. This is the partitioning correctness argument, executed.
+func TestClusterOracle(t *testing.T) {
+	urls := make([]string, 3)
+	for i := range urls {
+		urls[i] = newShardNode(t, clusterRules).URL
+	}
+	cs, coord := newCoord(t, urls)
+	if got := strings.Join(cs.cl.Key(), ","); got != "CC" {
+		t.Fatalf("derived partition key = %q, want CC", got)
+	}
+	single := newShardNode(t, clusterRules)
+
+	rng := rand.New(rand.NewSource(20260808))
+	ccs := []string{"01", "44", "07", "33", "99"}
+	acs := []string{"908", "131", "212"}
+	cts := []string{"MH", "EDI", "NYC"}
+	zips := []string{"07974", "01202", "EH4 1DT"}
+	strs := []string{"Tree Ave.", "High St.", "5th Ave"}
+	row := func() []string {
+		return []string{
+			ccs[rng.Intn(len(ccs))], acs[rng.Intn(len(acs))],
+			fmt.Sprintf("%07d", rng.Intn(4)), "N" + fmt.Sprint(rng.Intn(3)),
+			strs[rng.Intn(len(strs))], cts[rng.Intn(len(cts))], zips[rng.Intn(len(zips))],
+		}
+	}
+
+	var live []int
+	pick := func() (int, bool) {
+		if len(live) == 0 {
+			return 0, false
+		}
+		return live[rng.Intn(len(live))], true
+	}
+	drop := func(id int) {
+		for i, v := range live {
+			if v == id {
+				live = append(live[:i], live[i+1:]...)
+				return
+			}
+		}
+	}
+	both := func(method, path string, body any) (map[string]any, map[string]any) {
+		c := do(t, method, coord.URL+path, body, http.StatusOK)
+		s := do(t, method, single.URL+path, body, http.StatusOK)
+		return c, s
+	}
+
+	check := func(step int) {
+		t.Helper()
+		c := do(t, "GET", coord.URL+"/v1/violations", nil, http.StatusOK)
+		s := do(t, "GET", single.URL+"/v1/violations", nil, http.StatusOK)
+		if cc, ss := canonicalReport(t, c), canonicalReport(t, s); cc != ss {
+			t.Fatalf("step %d: reports diverge\ncoordinator: %s\nsingle node: %s", step, cc, ss)
+		}
+		c = do(t, "GET", coord.URL+"/v1/suspects", nil, http.StatusOK)
+		s = do(t, "GET", single.URL+"/v1/suspects", nil, http.StatusOK)
+		cb, _ := json.Marshal(c["suspects"])
+		sb, _ := json.Marshal(s["suspects"])
+		if string(cb) != string(sb) {
+			t.Fatalf("step %d: suspects diverge: %s vs %s", step, cb, sb)
+		}
+	}
+
+	const steps = 140
+	for i := 0; i < steps; i++ {
+		switch r := rng.Intn(10); {
+		case r < 5: // insert a small batch of rows
+			rows := make([][]string, 1+rng.Intn(3))
+			for j := range rows {
+				rows[j] = row()
+			}
+			c, s := both("POST", "/v1/tuples", map[string]any{"rows": rows})
+			cids, sids := ints(t, c["ids"]), ints(t, s["ids"])
+			if fmt.Sprint(cids) != fmt.Sprint(sids) {
+				t.Fatalf("step %d: insert ids diverge: %v vs %v", i, cids, sids)
+			}
+			live = append(live, cids...)
+		case r < 7: // delete one live tuple
+			id, ok := pick()
+			if !ok {
+				continue
+			}
+			both("DELETE", fmt.Sprintf("/v1/tuples/%d", id), nil)
+			drop(id)
+		case r < 9: // update one live tuple (often a cross-shard move: CC changes)
+			id, ok := pick()
+			if !ok {
+				continue
+			}
+			both("PUT", fmt.Sprintf("/v1/tuples/%d", id), map[string]any{"values": row()})
+		default: // mixed atomic-ish batch
+			ops := []map[string]any{{"op": "insert", "values": row()}}
+			if id, ok := pick(); ok {
+				ops = append(ops, map[string]any{"op": "update", "id": id, "values": row()})
+			}
+			ops = append(ops, map[string]any{"op": "insert", "values": row()})
+			c, s := both("POST", "/v1/batch", map[string]any{"ops": ops})
+			cids, sids := ints(t, c["ids"]), ints(t, s["ids"])
+			if fmt.Sprint(cids) != fmt.Sprint(sids) {
+				t.Fatalf("step %d: batch ids diverge: %v vs %v", i, cids, sids)
+			}
+			live = append(live, cids...)
+		}
+		if i%20 == 19 {
+			check(i)
+		}
+	}
+	check(steps)
+
+	// The tuple listing merges to the same id-ordered sequence, page by page.
+	var coordAll, singleAll []any
+	for _, base := range []string{coord.URL, single.URL} {
+		var all []any
+		cursor := ""
+		for {
+			u := base + "/v1/tuples?limit=7"
+			if cursor != "" {
+				u += "&cursor=" + cursor
+			}
+			doc := do(t, "GET", u, nil, http.StatusOK)
+			all = append(all, doc["tuples"].([]any)...)
+			next, _ := doc["next_cursor"].(string)
+			if next == "" {
+				break
+			}
+			cursor = next
+		}
+		if base == coord.URL {
+			coordAll = all
+		} else {
+			singleAll = all
+		}
+	}
+	cb, _ := json.Marshal(coordAll)
+	sb, _ := json.Marshal(singleAll)
+	if string(cb) != string(sb) {
+		t.Fatalf("paged tuple listings diverge:\n%s\n%s", cb, sb)
+	}
+	if len(coordAll) != len(live) {
+		t.Fatalf("listing has %d tuples, driver tracked %d", len(coordAll), len(live))
+	}
+
+	// Point reads agree too (served by whichever shard owns the id).
+	for _, id := range live[:min(5, len(live))] {
+		c := do(t, "GET", fmt.Sprintf("%s/v1/tuples/%d", coord.URL, id), nil, http.StatusOK)
+		s := do(t, "GET", fmt.Sprintf("%s/v1/tuples/%d", single.URL, id), nil, http.StatusOK)
+		cb, _ := json.Marshal(c)
+		sb, _ := json.Marshal(s)
+		if string(cb) != string(sb) {
+			t.Fatalf("tuple %d diverges: %s vs %s", id, cb, sb)
+		}
+	}
+}
+
+// putGate lets a test reject PUT /v1/rules on one shard mid-swap, simulating
+// a node that answers reads but cannot commit.
+type putGate struct {
+	h     http.Handler
+	block atomic.Bool
+}
+
+func (p *putGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if p.block.Load() && r.Method == http.MethodPut && strings.HasPrefix(r.URL.Path, "/v1/rules") {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write([]byte(`{"error":{"code":"internal","message":"induced swap failure"}}`))
+		return
+	}
+	p.h.ServeHTTP(w, r)
+}
+
+// shardVersion reads the rules fingerprint a shard itself serves.
+func shardVersion(t *testing.T, url string) string {
+	t.Helper()
+	doc := do(t, "GET", url+"/v1/rules", nil, http.StatusOK)
+	v, _ := doc["version"].(string)
+	return v
+}
+
+// TestClusterSwapAllOrNothing injects a commit failure mid-swap and requires
+// the fleet to converge back: after the failed attempt every shard reports
+// the same (old) fingerprint — a mixed rule set is never observable.
+func TestClusterSwapAllOrNothing(t *testing.T) {
+	gates := make([]*putGate, 3)
+	urls := make([]string, 3)
+	for i := range urls {
+		node := newShardNode(t, clusterRules)
+		gates[i] = &putGate{h: node.Config.Handler}
+		node.Config.Handler = gates[i]
+		urls[i] = node.URL
+	}
+	_, coord := newCoord(t, urls)
+	oldVersion := shardVersion(t, urls[0])
+
+	// Shard 1 commits reads but refuses the PUT: commit reaches shard 0,
+	// fails at shard 1, and must roll shard 0 back.
+	gates[1].block.Store(true)
+	newRules := "([CC,AC] -> CT, (_, _ || _))\n"
+	resp := clusterReq(t, "PUT", coord.URL+"/v1/rules", newRules, "", http.StatusServiceUnavailable)
+	if code := errCode(t, resp); code != codeUnavailable {
+		t.Fatalf("failed swap error code = %q, want %q", code, codeUnavailable)
+	}
+	for i, u := range urls {
+		if v := shardVersion(t, u); v != oldVersion {
+			t.Fatalf("after the aborted swap shard %d serves %q, want the old %q", i, v, oldVersion)
+		}
+	}
+	// The fleet is consistent, so reads still work.
+	doc := do(t, "GET", coord.URL+"/v1/rules", nil, http.StatusOK)
+	if doc["version"] != oldVersion {
+		t.Fatalf("coordinator serves %v, want %q", doc["version"], oldVersion)
+	}
+
+	// A stale If-Match is rejected before any shard changes.
+	clusterReq(t, "PUT", coord.URL+"/v1/rules", newRules, `"not-the-version"`, http.StatusConflict)
+
+	// Rules that cannot be partitioned by the cluster key are rejected.
+	clusterReq(t, "PUT", coord.URL+"/v1/rules", "([AC] -> CT, (131 || EDI))\n", "", http.StatusUnprocessableEntity)
+
+	// Unblocked, the same swap commits everywhere, CAS-guarded end to end.
+	gates[1].block.Store(false)
+	swap := doJSON(t, clusterReq(t, "PUT", coord.URL+"/v1/rules", newRules, `"`+oldVersion+`"`, http.StatusOK))
+	newVersion, _ := swap["version"].(string)
+	if newVersion == "" || newVersion == oldVersion {
+		t.Fatalf("swap response = %v", swap)
+	}
+	for i, u := range urls {
+		if v := shardVersion(t, u); v != newVersion {
+			t.Fatalf("after the committed swap shard %d serves %q, want %q", i, v, newVersion)
+		}
+	}
+	// The merge cache followed the swap: reads serve under the new set.
+	do(t, "GET", coord.URL+"/v1/violations", nil, http.StatusOK)
+}
+
+// TestClusterDegraded kills a shard and checks the partial-failure contract:
+// aggregated health degrades naming the shard, correctness-bearing reads
+// fail closed with the 503 "unavailable" envelope, and writes routed to the
+// live shards still work.
+func TestClusterDegraded(t *testing.T) {
+	nodes := make([]*httptest.Server, 3)
+	urls := make([]string, 3)
+	for i := range urls {
+		nodes[i] = newShardNode(t, clusterRules)
+		urls[i] = nodes[i].URL
+	}
+	_, coord := newCoord(t, urls)
+	do(t, "POST", coord.URL+"/v1/tuples", map[string]any{"rows": [][]string{
+		{"01", "908", "1111111", "Mike", "Tree Ave.", "MH", "07974"},
+		{"44", "131", "3333333", "Ben", "High St.", "EDI", "EH4 1DT"},
+	}}, http.StatusOK)
+
+	nodes[2].Close()
+
+	health := do(t, "GET", coord.URL+"/v1/health", nil, http.StatusOK)
+	if health["status"] != "degraded" {
+		t.Fatalf("health status = %v, want degraded", health["status"])
+	}
+	shards := health["shards"].([]any)
+	down := shards[2].(map[string]any)
+	if down["healthy"] != false || down["error"] == nil {
+		t.Fatalf("shard 2 status = %v, want unhealthy with an error", down)
+	}
+	if shards[0].(map[string]any)["healthy"] != true {
+		t.Fatalf("shard 0 must stay healthy: %v", shards[0])
+	}
+
+	resp := clusterReq(t, "GET", coord.URL+"/v1/violations", "", "", http.StatusServiceUnavailable)
+	if code := errCode(t, resp); code != codeUnavailable {
+		t.Fatalf("degraded read error code = %q, want %q", code, codeUnavailable)
+	}
+	clusterReq(t, "GET", coord.URL+"/v1/suspects", "", "", http.StatusServiceUnavailable)
+	clusterReq(t, "GET", coord.URL+"/v1/tuples", "", "", http.StatusServiceUnavailable)
+}
+
+// clusterReq performs a request with a literal body (and optional If-Match),
+// asserting the status; the response body is returned undecoded.
+func clusterReq(t *testing.T, method, url, body, ifMatch string, wantStatus int) []byte {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ifMatch != "" {
+		req.Header.Set("If-Match", ifMatch)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s: status %d, want %d (body %s)", method, url, resp.StatusCode, wantStatus, data)
+	}
+	return data
+}
+
+func doJSON(t *testing.T, data []byte) map[string]any {
+	t.Helper()
+	out := map[string]any{}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("decoding %s: %v", data, err)
+	}
+	return out
+}
+
+// errCode extracts the stable code of an error envelope.
+func errCode(t *testing.T, data []byte) string {
+	t.Helper()
+	doc := doJSON(t, data)
+	env, _ := doc["error"].(map[string]any)
+	code, _ := env["code"].(string)
+	return code
+}

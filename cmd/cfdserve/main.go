@@ -15,6 +15,7 @@
 //	cfdserve -sample clean.csv -support 10 -addr :8080
 //	cfdserve -rules rules.txt -data dirty.csv -state ./state   # durable
 //	cfdserve -state ./state                                    # restart
+//	cfdserve -coordinator -shards http://a:8081,http://b:8081  # cluster front
 //
 // API (versioned under /v1; API.md in the repository root is the full wire
 // contract — error envelope, pagination, the delta format):
@@ -71,6 +72,16 @@
 // ingest latency for durability against machine crashes rather than just
 // process exits.
 //
+// With -coordinator the process holds no tuples at all: it fronts the
+// -shards fleet of ordinary cfdserve nodes, routing writes by partition key
+// (derived from the served rules, or -partition-by), assigning globally
+// unique tuple ids, scatter-gathering reads into deterministically merged
+// reports, and driving PUT /v1/rules as a two-phase all-or-nothing swap
+// across every shard. Reads fail closed with 503 {"code":"unavailable"}
+// when a shard is unreachable; GET /v1/health instead degrades, reporting
+// per-shard status. See the Coordinator mode section of API.md and the
+// Cluster section of ARCHITECTURE.md.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests and compacting a final snapshot.
 package main
@@ -113,6 +124,12 @@ type config struct {
 	compactEvery int
 	remineEvery  time.Duration
 
+	coordinator  bool
+	shardURLs    []string
+	partitionBy  []string
+	shardTimeout time.Duration
+	initWait     time.Duration
+
 	debugAddr string
 	logLevel  string
 	logFormat string
@@ -133,6 +150,11 @@ func main() {
 		fsync        = flag.Bool("fsync", false, "fsync the write-ahead log on every commit (durable against machine crashes)")
 		compactEvery = flag.Int("compact-every", 4096, "background-compact a snapshot every N logged ops (0 = only at startup/shutdown)")
 		remineEvery  = flag.Duration("remine-every", 0, "re-mine rules over the live tuples on this interval and hot-swap them when changed (0 = only on POST /v1/rules/remine)")
+		coordinator  = flag.Bool("coordinator", false, "serve as a cluster coordinator over the -shards fleet instead of holding tuples locally")
+		shards       = flag.String("shards", "", "comma-separated shard base URLs for -coordinator, e.g. http://10.0.0.7:8081,http://10.0.0.8:8081 (shard order is part of the cluster identity)")
+		partitionBy  = flag.String("partition-by", "", "comma-separated partition key attributes for -coordinator (default: derived from the served rules)")
+		shardTimeout = flag.Duration("shard-timeout", 5*time.Second, "per-request timeout for coordinator-to-shard round trips")
+		initWait     = flag.Duration("init-wait", 30*time.Second, "how long the coordinator retries contacting its shards at startup before giving up")
 		debugAddr    = flag.String("debug-addr", "", "separate listen address for net/http/pprof profiling endpoints (empty = disabled)")
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		logFormat    = flag.String("log-format", "text", "log format: text or json")
@@ -144,13 +166,16 @@ func main() {
 		samplePath: *sample, support: *support, maxLHS: *maxLHS,
 		statePath: *state, fsync: *fsync, compactEvery: *compactEvery,
 		remineEvery: *remineEvery,
-		debugAddr:   *debugAddr, logLevel: *logLevel, logFormat: *logFormat,
+		coordinator: *coordinator, shardTimeout: *shardTimeout, initWait: *initWait,
+		debugAddr: *debugAddr, logLevel: *logLevel, logFormat: *logFormat,
 	}
 	if *schema != "" {
 		for _, a := range strings.Split(*schema, ",") {
 			cfg.schema = append(cfg.schema, strings.TrimSpace(a))
 		}
 	}
+	cfg.shardURLs = splitList(*shards)
+	cfg.partitionBy = splitList(*partitionBy)
 
 	// Validate and install the process logger before anything can log:
 	// buildServing and the libraries log through slog.Default, the per-request
@@ -160,6 +185,13 @@ func main() {
 		fatal(err)
 	}
 	slog.SetDefault(logger)
+
+	if cfg.coordinator {
+		if err := runCoordinator(cfg, logger); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	sv, err := buildServing(cfg)
 	if err != nil {
@@ -233,6 +265,73 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// splitList splits a comma-separated flag value into trimmed, non-empty
+// entries.
+func splitList(raw string) []string {
+	var out []string
+	for _, v := range strings.Split(raw, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// runCoordinator is the -coordinator serving path: no engine, no store — the
+// process fronts the -shards fleet, forming the cluster (with startup
+// retries while shards boot) and serving the coordinator API until
+// SIGINT/SIGTERM. The coordinator is stateless, so shutdown is just draining
+// in-flight requests; the shards own all durable state.
+func runCoordinator(cfg config, logger *slog.Logger) error {
+	if len(cfg.shardURLs) == 0 {
+		return errors.New("-coordinator requires -shards")
+	}
+	if cfg.statePath != "" || cfg.dataPath != "" || cfg.rulesPath != "" || cfg.samplePath != "" {
+		return errors.New("-coordinator holds no local state; -state/-data/-rules/-sample belong on the shard nodes")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cs, err := newCoordinator(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	logger.Info("cluster formed",
+		"shards", cs.cl.Shards(), "partition_key", strings.Join(cs.cl.Key(), ","),
+		"schema", len(cs.cl.Schema()), "next_id", cs.cl.NextID())
+
+	if cfg.debugAddr != "" {
+		go func() {
+			logger.Info("debug listener on", "addr", cfg.debugAddr)
+			if err := http.ListenAndServe(cfg.debugAddr, debugMux()); err != nil {
+				logger.Error("debug listener failed", "error", err)
+			}
+		}()
+	}
+
+	srv := &http.Server{Addr: cfg.addr, Handler: cs.handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("coordinator listening", "addr", cfg.addr)
+		errCh <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	case <-ctx.Done():
+		stop()
+		logger.Info("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // debugMux serves the net/http/pprof endpoints. An explicit mux, not

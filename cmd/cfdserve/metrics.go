@@ -99,7 +99,9 @@ func validRequestID(id string) bool {
 // in-flight gauge, and emits the per-route counter, duration histogram and
 // access log line when the handler returns. route is the pattern label
 // ("/violations", not the concrete path), so the series stay low-cardinality.
-func (s *server) instrument(method, route string, h http.HandlerFunc) http.HandlerFunc {
+// A method on the obs stack so the single-node server and the coordinator
+// share one middleware.
+func (o *obsStack) instrument(method, route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		id := r.Header.Get("X-Request-Id")
@@ -110,13 +112,13 @@ func (s *server) instrument(method, route string, h http.HandlerFunc) http.Handl
 		ctx := obs.WithRequestID(r.Context(), id)
 		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		s.obs.inFlight.Inc()
+		o.inFlight.Inc()
 		defer func() {
-			s.obs.inFlight.Dec()
+			o.inFlight.Dec()
 			elapsed := time.Since(start)
-			s.obs.reqTotal.With(route, method, fmt.Sprintf("%dxx", sw.status/100)).Inc()
-			s.obs.reqDur.With(route, method).Observe(elapsed.Seconds())
-			s.logger().LogAttrs(ctx, slog.LevelInfo, "request",
+			o.reqTotal.With(route, method, fmt.Sprintf("%dxx", sw.status/100)).Inc()
+			o.reqDur.With(route, method).Observe(elapsed.Seconds())
+			o.logger().LogAttrs(ctx, slog.LevelInfo, "request",
 				slog.String("method", method),
 				slog.String("route", route),
 				slog.String("path", r.URL.Path),
@@ -128,12 +130,65 @@ func (s *server) instrument(method, route string, h http.HandlerFunc) http.Handl
 	}
 }
 
+// logger returns the stack's structured logger, or the process default for a
+// zero stack (tests constructing the structs directly).
+func (o *obsStack) logger() *slog.Logger {
+	if o != nil && o.log != nil {
+		return o.log
+	}
+	return slog.Default()
+}
+
 // logger returns the server's structured logger (the process default when the
 // server was built without an obs stack, which only happens in tests that
 // construct the struct directly).
 func (s *server) logger() *slog.Logger {
-	if s.obs != nil && s.obs.log != nil {
-		return s.obs.log
+	if s.obs == nil {
+		return slog.Default()
 	}
-	return slog.Default()
+	return s.obs.logger()
 }
+
+// coordObs is the coordinator's shard-facing telemetry: the cluster.Observer
+// the shard clients call into, backed by the same registry the HTTP families
+// live in. All five families carry the shard index (or scatter op / swap
+// outcome) as their only label, so cardinality is bounded by the fleet size.
+type coordObs struct {
+	shardReqTotal *obs.CounterVec   // shard, result (ok | error)
+	shardReqDur   *obs.HistogramVec // shard
+	shardUp       *obs.GaugeVec     // shard: 1 healthy, 0 breaker open
+	scatterErrs   *obs.CounterVec   // op (violations, tuples, swap, ...)
+	swapTotal     *obs.CounterVec   // outcome (committed, rejected, aborted, mixed)
+}
+
+// newCoordObs registers the coordinator families against the stack's registry.
+func newCoordObs(reg *obs.Registry) *coordObs {
+	return &coordObs{
+		shardReqTotal: reg.CounterVec("cfd_coord_shard_requests_total", "Coordinator-to-shard round trips by shard index and result (ok, error).", "shard", "result"),
+		shardReqDur:   reg.HistogramVec("cfd_coord_shard_request_duration_seconds", "Coordinator-to-shard round-trip duration by shard index.", obs.DefBuckets, "shard"),
+		shardUp:       reg.GaugeVec("cfd_coord_shard_up", "Per-shard availability as seen by the coordinator's circuit breaker (1 up, 0 down).", "shard"),
+		scatterErrs:   reg.CounterVec("cfd_coord_scatter_errors_total", "Scatter-gather operations that failed as a whole, by operation.", "op"),
+		swapTotal:     reg.CounterVec("cfd_coord_rule_swaps_total", "Coordinated two-phase rule swaps by outcome (committed, rejected, aborted, mixed).", "outcome"),
+	}
+}
+
+func (c *coordObs) ObserveShardRequest(shard string, seconds float64, failed bool) {
+	result := "ok"
+	if failed {
+		result = "error"
+	}
+	c.shardReqTotal.With(shard, result).Inc()
+	c.shardReqDur.With(shard).Observe(seconds)
+}
+
+func (c *coordObs) ObserveShardHealth(shard string, healthy bool) {
+	v := 0.0
+	if healthy {
+		v = 1
+	}
+	c.shardUp.With(shard).Set(v)
+}
+
+func (c *coordObs) ObserveScatterError(op string) { c.scatterErrs.With(op).Inc() }
+
+func (c *coordObs) ObserveSwap(outcome string) { c.swapTotal.With(outcome).Inc() }

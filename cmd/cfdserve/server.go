@@ -103,9 +103,9 @@ func (s *server) routes() []route {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	for _, rt := range s.routes() {
-		mux.HandleFunc(rt.method+" /v1"+rt.pattern, s.instrument(rt.method, rt.pattern, rt.handler))
+		mux.HandleFunc(rt.method+" /v1"+rt.pattern, s.obs.instrument(rt.method, rt.pattern, rt.handler))
 		if rt.legacy {
-			mux.HandleFunc(rt.method+" "+rt.pattern, s.instrument(rt.method, rt.pattern, deprecate(rt.pattern, rt.handler)))
+			mux.HandleFunc(rt.method+" "+rt.pattern, s.obs.instrument(rt.method, rt.pattern, deprecate(rt.pattern, rt.handler)))
 		}
 	}
 	// The scrape endpoint itself is outside the /v1 contract and outside the
@@ -144,6 +144,7 @@ const (
 	codePayloadTooLarge = "payload_too_large" // 413: request body over the limit
 	codeUnprocessable   = "unprocessable"     // 422: well-formed but semantically invalid (arity, unknown op, bad rule)
 	codeInternal        = "internal"          // 500: WAL append or other engine failure
+	codeUnavailable     = "unavailable"       // 503: a shard behind the coordinator cannot answer
 )
 
 func writeError(w http.ResponseWriter, r *http.Request, status int, code string, err error) {
@@ -255,6 +256,9 @@ func (s *server) health(w http.ResponseWriter, _ *http.Request) {
 		"epoch":         s.eng.Epoch(),
 		"uptime":        time.Since(s.started).Round(time.Millisecond).String(),
 		"rules_version": s.eng.RulesVersion(),
+		// The id the next insert gets — a cluster coordinator recovers its
+		// global id counter as the max across its shards.
+		"next_id": s.eng.NextID(),
 		// In-flight state, not just last-completed results: both booleans flip
 		// while the background work runs.
 		"compacting":     s.compacting.Load(),

@@ -1,0 +1,241 @@
+#!/bin/sh
+# Smoke test for the cfdserve cluster mode, run by `make cluster-smoke` and
+# the CI job of the same name: boot three shard nodes plus a coordinator AND
+# a single-node oracle, drive the same writes through both, and assert the
+# merged coordinator reports are byte-identical to the oracle's. Then swap
+# rules through the two-phase protocol, SIGKILL a shard to check degraded
+# health and the fail-closed 503 envelope, and restart the shard from its
+# state directory to check recovery (tuples and the swapped rules replayed
+# from the WAL).
+set -eu
+
+COORD_ADDR="127.0.0.1:18090"
+S0_ADDR="127.0.0.1:18091"
+S1_ADDR="127.0.0.1:18092"
+S2_ADDR="127.0.0.1:18093"
+ORACLE_ADDR="127.0.0.1:18094"
+COORD="http://$COORD_ADDR"
+ORACLE="http://$ORACLE_ADDR"
+
+TMP="$(mktemp -d)"
+BIN="$TMP/cfdserve"
+RULES="$TMP/rules.txt"
+RULES2="$TMP/rules_v2.txt"
+BADRULES="$TMP/rules_bad.txt"
+STATE2="$TMP/shard2-state"
+SCHEMA="CC,AC,PN,NM,STR,CT,ZIP"
+
+fail() {
+	echo "cluster-smoke: FAIL: $*" >&2
+	exit 1
+}
+
+# flat canonicalises a JSON body for comparison: whitespace stripped, and the
+# epoch counters dropped — the coordinator reports one epoch per shard where
+# the single node reports one, and per-node epochs advance at different rates.
+flat() {
+	tr -d ' \n' | sed 's/"epochs":\[[0-9,]*\],//;s/"epoch":[0-9]*,//g'
+}
+
+go build -o "$BIN" ./cmd/cfdserve
+
+# Both rules share CC on the LHS, so the derived partition key is [CC] and a
+# three-shard cluster actually spreads the groups (the serve-smoke fixture's
+# rules have disjoint LHS attributes, which would collapse everything onto
+# shard 0).
+cat >"$RULES" <<'EOF'
+([CC,AC] -> CT, (_, _ || _))
+([CC,ZIP] -> STR, (_, _ || _))
+EOF
+cat >"$RULES2" <<'EOF'
+([CC,ZIP] -> STR, (_, _ || _))
+EOF
+cat >"$BADRULES" <<'EOF'
+([AC] -> CT, (131 || EDI))
+EOF
+
+# Shards 0 and 1 are memory-only; shard 2 is durable so the SIGKILL/restart
+# leg can recover its slice. The oracle is a plain single node on the same
+# rules and schema.
+"$BIN" -addr "$S0_ADDR" -rules "$RULES" -schema "$SCHEMA" &
+S0_PID=$!
+"$BIN" -addr "$S1_ADDR" -rules "$RULES" -schema "$SCHEMA" &
+S1_PID=$!
+"$BIN" -addr "$S2_ADDR" -rules "$RULES" -schema "$SCHEMA" -state "$STATE2" &
+S2_PID=$!
+"$BIN" -addr "$ORACLE_ADDR" -rules "$RULES" -schema "$SCHEMA" &
+ORACLE_PID=$!
+trap 'kill "$S0_PID" "$S1_PID" "$S2_PID" "$ORACLE_PID" "${COORD_PID:-}" 2>/dev/null || true' EXIT
+
+for a in "$S0_ADDR" "$S1_ADDR" "$S2_ADDR" "$ORACLE_ADDR"; do
+	i=0
+	until curl -fs "http://$a/v1/health" >/dev/null 2>&1; do
+		i=$((i + 1))
+		[ "$i" -lt 50 ] || fail "node on $a did not come up"
+		sleep 0.1
+	done
+done
+
+# Satellite: a second process must refuse to open the live state directory.
+if "$BIN" -addr 127.0.0.1:18099 -state "$STATE2" >"$TMP/dup.log" 2>&1; then
+	fail "double-open of a live -state directory was not refused"
+fi
+grep -q "already in use by a live process" "$TMP/dup.log" \
+	|| fail "lockfile refusal missing from $(cat "$TMP/dup.log")"
+
+"$BIN" -coordinator -shards "http://$S0_ADDR,http://$S1_ADDR,http://$S2_ADDR" \
+	-addr "$COORD_ADDR" &
+COORD_PID=$!
+i=0
+until curl -fs "$COORD/v1/health" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -lt 50 ] || fail "coordinator did not come up on $COORD_ADDR"
+	sleep 0.1
+done
+
+health="$(curl -fs "$COORD/v1/health")"
+echo "$health" | grep -q '"mode": "coordinator"' || fail "not a coordinator: $health"
+echo "$health" | grep -q '"status": "ok"' || fail "cluster not healthy: $health"
+echo "$health" | flat | grep -q '"partition_key":\["CC"\]' \
+	|| fail "partition key not derived as [CC]: $health"
+
+# The same eight rows through the coordinator and the oracle: the assigned
+# ids must match, and from here on every read must merge byte-identically.
+ROWS='{"rows":[
+  ["01","908","1111111","Mike","Tree Ave.","MH","07974"],
+  ["01","908","1111111","Rick","Tree Ave.","MH","07974"],
+  ["01","212","2222222","Joe","5th Ave","NYC","01202"],
+  ["01","908","2222222","Jim","Elm Str.","MH","07974"],
+  ["44","131","3333333","Ben","High St.","EDI","EH4 1DT"],
+  ["44","131","4444444","Ian","High St.","EDI","EH4 1DT"],
+  ["44","908","4444444","Ian","Port PI","MH","01202"],
+  ["01","131","5555555","Sean","3rd Str.","UN","01202"]
+]}'
+for base in "$COORD" "$ORACLE"; do
+	post="$(curl -fs -X POST "$base/v1/tuples" -H 'Content-Type: application/json' -d "$ROWS")"
+	echo "$post" | flat | grep -q '"ids":\[0,1,2,3,4,5,6,7\]' \
+		|| fail "unexpected insert response from $base: $post"
+done
+
+compare() {
+	path="$1"
+	c="$(curl -fs "$COORD$path" | flat)" || fail "coordinator GET $path failed"
+	o="$(curl -fs "$ORACLE$path" | flat)" || fail "oracle GET $path failed"
+	[ "$c" = "$o" ] || fail "GET $path diverged:
+  coordinator: $c
+  oracle:      $o"
+}
+
+compare /v1/violations
+compare /v1/suspects
+curl -fs "$COORD/v1/violations" | flat | grep -q '"dirty":\[0,1,2,3,7\]' \
+	|| fail "unexpected merged dirty set"
+
+# A cross-shard move (CC 44 -> 01 changes the tuple's owning shard) and a
+# delete, through both, then compare again — including the paged listing.
+for base in "$COORD" "$ORACLE"; do
+	curl -fs -X PUT "$base/v1/tuples/4" -H 'Content-Type: application/json' \
+		-d '{"values":["01","908","7777777","Ben","Elm Str.","MH","07974"]}' >/dev/null \
+		|| fail "update through $base failed"
+	curl -fs -X DELETE "$base/v1/tuples/5" >/dev/null || fail "delete through $base failed"
+done
+compare /v1/violations
+compare /v1/suspects
+compare "/v1/tuples?limit=5"
+compare "/v1/tuples?cursor=5&limit=5"
+compare /v1/tuples/4
+compare /v1/tuples/4/violations
+
+# Two-phase rule swap. A rule set that cannot be partitioned by the cluster
+# key is rejected up front (no shard sees it) ...
+code="$(curl -s -o "$TMP/swap.json" -w '%{http_code}' -X PUT "$COORD/v1/rules" --data-binary @"$BADRULES")"
+[ "$code" = "422" ] || fail "unpartitionable rules: status $code, want 422"
+grep -q '"unprocessable"' "$TMP/swap.json" || fail "unexpected 422 envelope: $(cat "$TMP/swap.json")"
+
+# ... and a good one commits on every shard, leaving a uniform fingerprint.
+curl -fs -X PUT "$COORD/v1/rules" --data-binary @"$RULES2" >"$TMP/swap.json" \
+	|| fail "two-phase swap failed: $(cat "$TMP/swap.json")"
+v0="$(curl -fs "http://$S0_ADDR/v1/health" | flat | sed -n 's/.*"rules_version":"\([^"]*\)".*/\1/p')"
+for a in "$S1_ADDR" "$S2_ADDR"; do
+	v="$(curl -fs "http://$a/v1/health" | flat | sed -n 's/.*"rules_version":"\([^"]*\)".*/\1/p')"
+	[ "$v" = "$v0" ] || fail "shard $a serves rules $v, shard 0 serves $v0 after swap"
+done
+curl -fs -X PUT "$ORACLE/v1/rules" --data-binary @"$RULES2" >/dev/null
+compare /v1/violations
+
+# SIGKILL shard 2: health degrades (but stays 200), correctness-bearing
+# reads fail closed with the 503 "unavailable" envelope.
+kill -KILL "$S2_PID"
+wait "$S2_PID" 2>/dev/null || true
+i=0
+until curl -fs "$COORD/v1/health" | grep -q '"status": "degraded"'; do
+	i=$((i + 1))
+	[ "$i" -lt 50 ] || fail "coordinator never reported degraded health"
+	sleep 0.1
+done
+code="$(curl -s -o "$TMP/deg.json" -w '%{http_code}' "$COORD/v1/violations")"
+[ "$code" = "503" ] || fail "degraded read: status $code, want 503"
+grep -q '"unavailable"' "$TMP/deg.json" || fail "unexpected 503 envelope: $(cat "$TMP/deg.json")"
+
+# Writes routed to live shards still land (CC=44 routes to shard 0) ...
+for base in "$COORD" "$ORACLE"; do
+	post="$(curl -fs -X POST "$base/v1/tuples" -H 'Content-Type: application/json' \
+		-d '{"rows":[["44","131","6666666","Amy","High St.","EDI","EH4 1DT"]]}')"
+	echo "$post" | flat | grep -q '"ids":\[8\]' || fail "degraded-mode insert via $base: $post"
+done
+# ... while writes routed to the dead shard fail closed (CC=01 -> shard 2).
+code="$(curl -s -o "$TMP/dead.json" -w '%{http_code}' -X POST "$COORD/v1/tuples" \
+	-H 'Content-Type: application/json' \
+	-d '{"rows":[["01","212","8888888","Eve","5th Ave","NYC","01202"]]}')"
+[ "$code" = "503" ] || fail "write to the dead shard: status $code, want 503"
+grep -q '"unavailable"' "$TMP/dead.json" || fail "unexpected 503 envelope: $(cat "$TMP/dead.json")"
+
+# Restart shard 2 from its state directory: the WAL replays its tuple slice
+# AND the swapped rule set (-rules is ignored once a snapshot exists), the
+# coordinator notices recovery through the health probe, and merged reads
+# come back identical to the oracle.
+"$BIN" -addr "$S2_ADDR" -rules "$RULES" -schema "$SCHEMA" -state "$STATE2" &
+S2_PID=$!
+i=0
+until curl -fs "http://$S2_ADDR/v1/health" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -lt 50 ] || fail "shard 2 did not restart"
+	sleep 0.1
+done
+v="$(curl -fs "http://$S2_ADDR/v1/health" | flat | sed -n 's/.*"rules_version":"\([^"]*\)".*/\1/p')"
+[ "$v" = "$v0" ] || fail "restarted shard lost the swapped rules: serves $v, want $v0"
+i=0
+until curl -fs "$COORD/v1/health" | grep -q '"status": "ok"'; do
+	i=$((i + 1))
+	[ "$i" -lt 100 ] || fail "coordinator never recovered after the shard restart"
+	sleep 0.1
+done
+# The shard client's circuit breaker may still be in its cooldown window
+# right after recovery; reads must come back within it.
+i=0
+until curl -fs "$COORD/v1/violations" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -lt 100 ] || fail "merged reads did not recover after the shard restart"
+	sleep 0.1
+done
+compare /v1/violations
+compare /v1/suspects
+compare "/v1/tuples?limit=20"
+
+# Coordinator telemetry: per-shard gauges and the swap/scatter counters.
+metrics="$(curl -fs "$COORD/metrics")"
+echo "$metrics" | grep -q 'cfd_coord_shard_up{shard="2"} 1' || fail "shard 2 gauge not back to 1"
+echo "$metrics" | grep -q 'cfd_coord_rule_swaps_total{outcome="committed"} 1' \
+	|| fail "committed swap not counted"
+echo "$metrics" | grep -q 'cfd_coord_rule_swaps_total{outcome="rejected"} 1' \
+	|| fail "rejected swap not counted"
+echo "$metrics" | grep -q 'cfd_coord_scatter_errors_total' || fail "scatter errors family missing"
+echo "$metrics" | grep -q 'cfd_coord_shard_requests_total{shard="0",result="ok"}' \
+	|| fail "per-shard request counter missing"
+
+# Graceful shutdown: SIGTERM, clean exit.
+kill -TERM "$COORD_PID"
+wait "$COORD_PID" || fail "coordinator did not exit cleanly on SIGTERM"
+COORD_PID=""
+
+echo "cluster-smoke: OK"

@@ -21,11 +21,19 @@ const (
 )
 
 // Op is one mutation of the engine's tuple set. Insert carries Values only
-// (the id is assigned on apply); Delete carries ID; Update carries both.
+// (the id is assigned on apply, or pinned by At); Delete carries ID; Update
+// carries both.
 type Op struct {
 	Kind   OpKind   `json:"op"`
 	ID     int      `json:"id,omitempty"`
 	Values []string `json:"values,omitempty"`
+	// At pins an insert to an explicit id instead of the next sequential one.
+	// The id must not be live; ids between the current end of the row table
+	// and At become unassigned holes (exactly like ids freed by Delete), and
+	// the next sequential insert continues after the highest id ever pinned.
+	// This is how a cluster coordinator keeps globally assigned ids stable on
+	// the owning shard; single-node clients normally leave it nil.
+	At *int `json:"at,omitempty"`
 }
 
 // opJSON is the wire form: id is a pointer so decoding can tell "id":0 apart
@@ -35,32 +43,45 @@ type opJSON struct {
 	Kind   OpKind   `json:"op"`
 	ID     *int     `json:"id,omitempty"`
 	Values []string `json:"values,omitempty"`
+	At     *int     `json:"at,omitempty"`
 }
 
 // MarshalJSON emits the id only for the kinds that address a tuple, so
-// insert records stay free of a meaningless "id":0.
+// insert records stay free of a meaningless "id":0, and "at" only for
+// inserts that pin one.
 func (o Op) MarshalJSON() ([]byte, error) {
 	raw := opJSON{Kind: o.Kind, Values: o.Values}
 	if o.Kind == OpDelete || o.Kind == OpUpdate {
 		id := o.ID
 		raw.ID = &id
 	}
+	if o.Kind == OpInsert && o.At != nil {
+		at := *o.At
+		raw.At = &at
+	}
 	return json.Marshal(raw)
 }
 
 // UnmarshalJSON rejects delete/update ops without an explicit "id": the
 // zero id is a real tuple, and a client omitting the field must get an
-// error, not a deletion of tuple 0.
+// error, not a deletion of tuple 0. An "at" is only meaningful on insert.
 func (o *Op) UnmarshalJSON(data []byte) error {
 	var raw opJSON
 	if err := json.Unmarshal(data, &raw); err != nil {
 		return err
 	}
-	o.Kind, o.Values, o.ID = raw.Kind, raw.Values, 0
+	o.Kind, o.Values, o.ID, o.At = raw.Kind, raw.Values, 0, nil
 	if raw.ID != nil {
 		o.ID = *raw.ID
 	} else if raw.Kind == OpDelete || raw.Kind == OpUpdate {
 		return fmt.Errorf("violation: %s op requires an \"id\"", raw.Kind)
+	}
+	if raw.At != nil {
+		if raw.Kind != OpInsert {
+			return fmt.Errorf("violation: %s op does not take \"at\"", raw.Kind)
+		}
+		at := *raw.At
+		o.At = &at
 	}
 	return nil
 }
@@ -138,18 +159,16 @@ func (e *Engine) resolve(ops []Op) ([]resolvedOp, []int, error) {
 	resolved := make([]resolvedOp, 0, len(ops))
 	var ids []int
 	// overlay tracks rows changed by earlier ops of this batch: id -> row,
-	// nil = deleted. appended counts pending inserts (their ids extend the
-	// row table).
+	// nil = deleted. end is the virtual end of the row table including
+	// pending inserts (sequential inserts extend it by one; pinned inserts
+	// may jump it forward).
 	var overlay map[int][]int32
-	appended := 0
+	end := len(e.rows)
 	rowAt := func(id int) ([]int32, bool) {
 		if row, ok := overlay[id]; ok {
 			return row, row != nil
 		}
-		if id < 0 || id >= len(e.rows)+appended {
-			return nil, false
-		}
-		if id >= len(e.rows) {
+		if id < 0 || id >= len(e.rows) {
 			return nil, false // pending insert ids are always in overlay
 		}
 		row := e.rows[id]
@@ -175,8 +194,19 @@ func (e *Engine) resolve(ops []Op) ([]resolvedOp, []int, error) {
 			if err != nil {
 				return fail(i, err)
 			}
-			id := len(e.rows) + appended
-			appended++
+			id := end
+			if op.At != nil {
+				id = *op.At
+				if id < 0 {
+					return fail(i, fmt.Errorf("violation: insert at negative id %d", id))
+				}
+				if _, live := rowAt(id); live {
+					return fail(i, fmt.Errorf("violation: insert at id %d: tuple exists", id))
+				}
+			}
+			if id >= end {
+				end = id + 1
+			}
 			setOverlay(id, row)
 			resolved = append(resolved, resolvedOp{kind: OpInsert, id: id, new: row})
 			ids = append(ids, id)
@@ -217,7 +247,10 @@ func (e *Engine) apply(resolved []resolvedOp) {
 	for _, r := range resolved {
 		switch r.kind {
 		case OpInsert:
-			e.rows = append(e.rows, r.new)
+			for len(e.rows) <= r.id {
+				e.rows = append(e.rows, nil)
+			}
+			e.rows[r.id] = r.new
 			e.live++
 		case OpDelete:
 			e.rows[r.id] = nil

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package violation
+
+// lockDir is a no-op on platforms without flock semantics: the store keeps
+// its documented single-owner assumption but cannot enforce it.
+func lockDir(dir string) (func() error, error) {
+	return func() error { return nil }, nil
+}

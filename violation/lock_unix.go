@@ -1,0 +1,33 @@
+//go:build unix
+
+package violation
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockName is the advisory lock file guarding a state directory. It holds no
+// data; the flock on its open descriptor is the lock, so it is released the
+// moment the owning process exits — however it exits — and a stale file left
+// behind never blocks a fresh open.
+const lockName = "LOCK"
+
+// lockDir takes an exclusive, non-blocking flock on <dir>/LOCK and returns
+// the release func. A directory already held by a live Store — this process
+// or another — fails immediately with a clear error instead of corrupting
+// the WAL with interleaved appends.
+func lockDir(dir string) (func() error, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("violation: opening store: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("violation: state directory %s is already in use by a live process (flock %s: %w)", dir, lockName, err)
+	}
+	// Closing the descriptor releases the flock.
+	return f.Close, nil
+}

@@ -37,11 +37,15 @@ import (
 // compact-then-truncate pair crash-safe in either order. A torn trailing
 // WAL record (a crash mid-append) is detected on open and truncated away.
 //
-// A Store assumes a single owning process; it does not lock the directory
-// against concurrent processes.
+// A Store assumes a single owning process and enforces it: OpenStore takes
+// an advisory lock on <dir>/LOCK and fails fast when another live Store —
+// in this or any other process — already holds the directory, so two nodes
+// pointed at the same -state cannot interleave appends and corrupt the WAL.
+// The lock is released by Close and by process death (including SIGKILL).
 type Store struct {
-	dir  string
-	sync bool
+	dir    string
+	sync   bool
+	unlock func() error // releases the directory lock; nil once released
 
 	// compactMu serialises whole compactions: without it two overlapping
 	// Compact calls could rename their snapshots out of capture order and
@@ -117,34 +121,50 @@ func OpenStore(dir string, opts StoreOptions) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("violation: opening store: %w", err)
 	}
-	st := &Store{dir: dir, sync: opts.Sync}
+	unlock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{dir: dir, sync: opts.Sync, unlock: unlock}
+	fail := func(err error) (*Store, error) {
+		st.releaseLock()
+		return nil, err
+	}
 	data, err := os.ReadFile(filepath.Join(dir, snapshotName))
 	switch {
 	case err == nil:
 		var file snapshotFile
 		if err := json.Unmarshal(data, &file); err != nil {
-			return nil, fmt.Errorf("violation: corrupt %s: %w", snapshotName, err)
+			return fail(fmt.Errorf("violation: corrupt %s: %w", snapshotName, err))
 		}
 		if file.Format != currentFormat {
-			return nil, fmt.Errorf("violation: %s has format %d, this build reads %d", snapshotName, file.Format, currentFormat)
+			return fail(fmt.Errorf("violation: %s has format %d, this build reads %d", snapshotName, file.Format, currentFormat))
 		}
 		st.snapFile = &file
 		st.snapSeq = file.WalSeq
 		st.seq = file.WalSeq
 	case os.IsNotExist(err):
 	default:
-		return nil, fmt.Errorf("violation: opening store: %w", err)
+		return fail(fmt.Errorf("violation: opening store: %w", err))
 	}
 	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("violation: opening store: %w", err)
+		return fail(fmt.Errorf("violation: opening store: %w", err))
 	}
 	st.wal = wal
 	if err := st.scanWAL(); err != nil {
 		wal.Close()
-		return nil, err
+		return fail(err)
 	}
 	return st, nil
+}
+
+// releaseLock releases the directory lock if still held.
+func (st *Store) releaseLock() {
+	if st.unlock != nil {
+		_ = st.unlock()
+		st.unlock = nil
+	}
 }
 
 // readRecords streams the log's records from the start: fn is called with
@@ -550,12 +570,14 @@ func (st *Store) Seq() uint64 {
 // Dir returns the state directory.
 func (st *Store) Dir() string { return st.dir }
 
-// Close closes the WAL file. The engine must not mutate through this store
-// afterwards.
+// Close closes the WAL file and releases the directory lock. The engine must
+// not mutate through this store afterwards.
 func (st *Store) Close() error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.wal.Close()
+	err := st.wal.Close()
+	st.releaseLock()
+	return err
 }
 
 // restore rebuilds the row table from a snapshot: each saved tuple lands at

@@ -42,6 +42,9 @@ func TestRewriteTailLocked(t *testing.T) {
 	if err := st.Append([]Op{{Kind: OpDelete, ID: 0}}); err != nil { // seq 4
 		t.Fatal(err)
 	}
+	if err := st.Close(); err != nil { // release the directory lock for st2
+		t.Fatal(err)
+	}
 	st2, err := OpenStore(dir, StoreOptions{})
 	if err != nil {
 		t.Fatal(err)

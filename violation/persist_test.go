@@ -39,7 +39,9 @@ func reload(t *testing.T, dir string) *violation.Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { st.Close() })
+	// Close right after the rebuild: the store is never attached, and
+	// releasing its directory lock lets the test reopen the directory.
+	defer st.Close()
 	eng, found, err := st.Load(violation.Options{})
 	if err != nil {
 		t.Fatal(err)

@@ -443,6 +443,16 @@ func (e *Engine) Size() int {
 	return e.live
 }
 
+// NextID returns the id the next sequential insert would be assigned: one
+// past the highest id ever assigned (or pinned with Op.At), 0 on an empty
+// engine. A cluster coordinator recovers its global id counter as the
+// maximum NextID across shards.
+func (e *Engine) NextID() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.rows)
+}
+
 // Epoch returns the engine's mutation epoch: it increases after every
 // completed mutation, so two reads at the same epoch observed the same state.
 func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
