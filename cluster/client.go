@@ -109,11 +109,25 @@ func (s *ShardClient) Healthy() bool {
 }
 
 // allow reports whether a request may go out: true when the breaker is
-// closed, or open but past its cooldown (the half-open trial).
+// closed, or open but past its cooldown (the half-open trial). Admitting a
+// trial re-arms the cooldown, so half-open passes exactly one probe per
+// window: concurrent callers keep failing fast until the probe resolves (a
+// success closes the breaker) instead of fanning a full scatter's worth of
+// requests at a still-dead shard, each waiting out the full timeout. A
+// probe that never reports back (not a case do() can produce) merely costs
+// one more cooldown before the next trial.
 func (s *ShardClient) allow() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.fails < breakerThreshold || !time.Now().Before(s.openUntil)
+	if s.fails < breakerThreshold {
+		return true
+	}
+	now := time.Now()
+	if now.Before(s.openUntil) {
+		return false
+	}
+	s.openUntil = now.Add(breakerCooldown)
+	return true
 }
 
 // observe records a round trip's outcome in the breaker (and telemetry).

@@ -140,6 +140,42 @@ func TestBreakerHalfOpenAfterCooldown(t *testing.T) {
 	}
 }
 
+// TestBreakerHalfOpenSingleProbe: once the cooldown passes, exactly one
+// caller is admitted as the probe; everyone else keeps failing fast until
+// the probe resolves, so a scatter cannot fan a full fan-out at a shard
+// that is still dead.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	f := &flaky{status: http.StatusInternalServerError}
+	ts := httptest.NewServer(f)
+	defer ts.Close()
+	s := NewShardClient(ts.URL, "0", time.Second, nil)
+	ctx := context.Background()
+	for s.Healthy() {
+		s.Rules(ctx)
+	}
+	// Expire the cooldown: the next allow() is the half-open probe and must
+	// re-arm the window so concurrent callers are refused.
+	s.mu.Lock()
+	s.openUntil = time.Now().Add(-time.Millisecond)
+	s.mu.Unlock()
+	if !s.allow() {
+		t.Fatal("the first caller past the cooldown must be admitted as the probe")
+	}
+	if s.allow() {
+		t.Fatal("half-open must admit a single probe, not every caller")
+	}
+	before := f.hits.Load()
+	if _, err := s.Rules(ctx); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("callers during the probe window must fail fast, got %v", err)
+	}
+	if f.hits.Load() != before {
+		t.Fatal("a refused caller must not reach the shard")
+	}
+	// The probe's failure re-opens the breaker for a full cooldown; its
+	// success (simulated by the recovery path in TestBreakerHalfOpen) closes
+	// it for everyone.
+}
+
 func TestAPIErrorsDoNotTripBreaker(t *testing.T) {
 	f := &flaky{status: http.StatusNotFound}
 	ts := httptest.NewServer(f)

@@ -50,6 +50,27 @@ type Cluster struct {
 	// swapMu serialises coordinated rule swaps; concurrent swaps through one
 	// coordinator would interleave their per-shard CAS sequences.
 	swapMu sync.Mutex
+
+	// idMu stripes per-id write locks. A cross-shard move is a pinned insert
+	// on the new owner followed by a delete on the old — not atomic — so two
+	// concurrent mutations of the same id must not interleave mid-move, or
+	// the id can end up live on two shards (or on none). Every mutation of an
+	// existing id takes its stripe for the whole locate-and-apply sequence;
+	// fresh inserts need no lock (their ids are unique by construction).
+	idMu [idStripes]sync.Mutex
+}
+
+// idStripes is the size of the per-id lock table; collisions only serialise
+// unrelated mutations, they never affect correctness.
+const idStripes = 128
+
+// lockID takes the write lock for one tuple id and returns its release.
+// Callers must never hold two stripes at once (single-id lock discipline —
+// it is what makes the striping deadlock-free).
+func (c *Cluster) lockID(id int) func() {
+	mu := &c.idMu[uint(id)%idStripes]
+	mu.Lock()
+	return mu.Unlock
 }
 
 // New builds the cluster handle; call Init before serving.
@@ -323,8 +344,10 @@ type SwapResult struct {
 //	          is the shard's CAS token and the captured ruleset document its
 //	          rollback state. The uploaded set must parse and keep every
 //	          rule's LHS a superset of the partition key (anything else is
-//	          rejected before any shard changes). With ifMatch, every
-//	          shard's current version must equal it.
+//	          rejected before any shard changes). With a non-empty ifMatch,
+//	          every shard's current version must appear in the list (the
+//	          decoded tags of the client's If-Match header; match-any "*"
+//	          decodes to an empty list, i.e. unconditional).
 //	commit  — PUT the new set to each shard with If-Match <captured
 //	          version>: a concurrent out-of-band swap loses the CAS and
 //	          aborts the coordinated swap.
@@ -340,7 +363,7 @@ type SwapResult struct {
 // old — but it is never left partially applied: after SwapRules returns
 // (success or error, short of the explicit mixed failure) every shard
 // serves the same fingerprint it would without the attempt.
-func (c *Cluster) SwapRules(ctx context.Context, body []byte, ifMatch string) (SwapResult, error) {
+func (c *Cluster) SwapRules(ctx context.Context, body []byte, ifMatch []string) (SwapResult, error) {
 	c.swapMu.Lock()
 	defer c.swapMu.Unlock()
 	outcome := func(res SwapResult, o string, err error) (SwapResult, error) {
@@ -369,9 +392,16 @@ func (c *Cluster) SwapRules(ctx context.Context, body []byte, ifMatch string) (S
 	}); err != nil {
 		return outcome(SwapResult{}, "aborted", err)
 	}
-	if ifMatch != "" {
+	if len(ifMatch) > 0 {
 		for i, doc := range captured {
-			if doc.Version != ifMatch {
+			found := false
+			for _, want := range ifMatch {
+				if doc.Version == want {
+					found = true
+					break
+				}
+			}
+			if !found {
 				return outcome(SwapResult{}, "rejected", coordErr(http.StatusConflict, "conflict",
 					"shard %s serves rules version %q, which does not match If-Match %q", c.shards[i].URL(), doc.Version, ifMatch))
 			}

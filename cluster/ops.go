@@ -135,11 +135,14 @@ func (c *Cluster) rollbackInserts(ctx context.Context, perShard map[int][]violat
 // they hash elsewhere the tuple moves — a pinned insert on the new shard,
 // then a delete on the old, with a best-effort rollback of the insert if
 // the delete fails. The move is not atomic under a coordinator crash; both
-// halves are WAL-logged on their shards.
+// halves are WAL-logged on their shards. The id's stripe lock is held for
+// the whole locate-and-apply sequence, so concurrent mutations of one id
+// through this coordinator serialise instead of racing a move half-done.
 func (c *Cluster) Update(ctx context.Context, id int, values []string) error {
 	if err := c.checkArity([][]string{values}); err != nil {
 		return err
 	}
+	defer c.lockID(id)()
 	from, _, err := c.owner(ctx, id)
 	if err != nil {
 		return err
@@ -148,6 +151,7 @@ func (c *Cluster) Update(ctx context.Context, id int, values []string) error {
 }
 
 // moveOrUpdate applies an update whose current owner is already known.
+// Callers must hold the id's stripe lock (lockID).
 func (c *Cluster) moveOrUpdate(ctx context.Context, id, from int, values []string) error {
 	to := c.route(values)
 	if to == from {
@@ -169,8 +173,11 @@ func (c *Cluster) moveOrUpdate(ctx context.Context, id, from int, values []strin
 	return nil
 }
 
-// Delete removes one tuple by global id.
+// Delete removes one tuple by global id. Like Update it holds the id's
+// stripe lock across locate-and-apply, so it cannot interleave with a
+// concurrent move of the same id.
 func (c *Cluster) Delete(ctx context.Context, id int) error {
+	defer c.lockID(id)()
 	shard, _, err := c.owner(ctx, id)
 	if err != nil {
 		return err
@@ -269,25 +276,33 @@ func (c *Cluster) Batch(ctx context.Context, ops []violation.Op) (WriteResult, e
 				return res, err
 			}
 		case violation.OpUpdate:
-			from, err := locate(op.ID)
+			// The stripe lock is taken before the owner lookup so a concurrent
+			// move of the same id cannot slip between locating the shard and
+			// mutating it.
+			unlock := c.lockID(op.ID)
+			err := func() error {
+				from, err := locate(op.ID)
+				if err != nil {
+					return err
+				}
+				to := c.route(op.Values)
+				if to == from {
+					return enqueue(from, op)
+				}
+				// A cross-shard move cannot coalesce: flush, then move.
+				if err := flush(); err != nil {
+					return err
+				}
+				if err := c.moveOrUpdate(ctx, op.ID, from, op.Values); err != nil {
+					return err
+				}
+				owners[op.ID] = to
+				return nil
+			}()
+			unlock()
 			if err != nil {
 				return res, err
 			}
-			to := c.route(op.Values)
-			if to == from {
-				if err := enqueue(from, op); err != nil {
-					return res, err
-				}
-				continue
-			}
-			// A cross-shard move cannot coalesce: flush, then move.
-			if err := flush(); err != nil {
-				return res, err
-			}
-			if err := c.moveOrUpdate(ctx, op.ID, from, op.Values); err != nil {
-				return res, err
-			}
-			owners[op.ID] = to
 		}
 	}
 	return res, flush()

@@ -304,6 +304,10 @@ func TestClusterSwapAllOrNothing(t *testing.T) {
 	if newVersion == "" || newVersion == oldVersion {
 		t.Fatalf("swap response = %v", swap)
 	}
+	// If-Match "*" is match-any, and a list naming the current version among
+	// stale ones passes — the RFC forms, same as the single node.
+	clusterReq(t, "PUT", coord.URL+"/v1/rules", newRules, `*`, http.StatusOK)
+	clusterReq(t, "PUT", coord.URL+"/v1/rules", newRules, `"stale-version", "`+newVersion+`"`, http.StatusOK)
 	for i, u := range urls {
 		if v := shardVersion(t, u); v != newVersion {
 			t.Fatalf("after the committed swap shard %d serves %q, want %q", i, v, newVersion)

@@ -8,7 +8,6 @@ import (
 	"io"
 	"net/http"
 	"strconv"
-	"strings"
 	"time"
 
 	"repro/cluster"
@@ -119,7 +118,7 @@ func (s *coordServer) rules(w http.ResponseWriter, r *http.Request) {
 		writeClusterError(w, r, err)
 		return
 	}
-	if match := r.Header.Get("If-None-Match"); match != "" && strings.Contains(match, `"`+doc.Version+`"`) {
+	if match := r.Header.Get("If-None-Match"); match != "" && etagMatch(match, doc.Version) {
 		w.Header().Set("ETag", `"`+doc.Version+`"`)
 		w.WriteHeader(http.StatusNotModified)
 		return
@@ -132,18 +131,11 @@ func (s *coordServer) rules(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// etagValue extracts the bare version from an If-Match/If-None-Match header
-// value (strips the optional weak prefix and the quotes).
-func etagValue(header string) string {
-	v := strings.TrimSpace(header)
-	v = strings.TrimPrefix(v, "W/")
-	return strings.Trim(v, `"`)
-}
-
 // putRules runs the coordinated two-phase swap: all shards move to the
 // uploaded set or none does (cluster.SwapRules has the protocol). An
 // If-Match header additionally requires every shard's current version to
-// match it, like the single-node CAS.
+// appear among its listed tags, like the single-node CAS; "*" (match-any)
+// leaves the swap unconditional.
 func (s *coordServer) putRules(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxRulesBody+1))
 	if err != nil {
@@ -154,7 +146,8 @@ func (s *coordServer) putRules(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusRequestEntityTooLarge, codePayloadTooLarge, fmt.Errorf("rule file exceeds %d bytes", maxRulesBody))
 		return
 	}
-	res, err := s.cl.SwapRules(r.Context(), body, etagValue(r.Header.Get("If-Match")))
+	ifMatch, _ := etagList(r.Header.Get("If-Match")) // * = match-any = unconditional
+	res, err := s.cl.SwapRules(r.Context(), body, ifMatch)
 	if err != nil {
 		writeClusterError(w, r, err)
 		return

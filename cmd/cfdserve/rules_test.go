@@ -137,6 +137,70 @@ func TestRulesETag(t *testing.T) {
 	}
 }
 
+// TestETagForms: If-Match/If-None-Match accept the RFC 9110 forms — "*"
+// (match-any), comma-separated lists, weak W/ tags — on the parsing helpers
+// and over HTTP.
+func TestETagForms(t *testing.T) {
+	match := []struct {
+		header, version string
+		want            bool
+	}{
+		{`"v1"`, "v1", true},
+		{`"v1"`, "v2", false},
+		{`*`, "anything", true},
+		{`*`, "", false}, // match-any still needs a current version
+		{`"v1", "v2"`, "v2", true},
+		{`W/"v1", "v2"`, "v1", true},
+		{`"v1" , *`, "v3", true},
+		{``, "v1", false},
+	}
+	for _, tc := range match {
+		if got := etagMatch(tc.header, tc.version); got != tc.want {
+			t.Errorf("etagMatch(%q, %q) = %v, want %v", tc.header, tc.version, got, tc.want)
+		}
+	}
+	if tags, any := etagList(`W/"v1", "v2"`); any || len(tags) != 2 || tags[0] != "v1" || tags[1] != "v2" {
+		t.Fatalf(`etagList(W/"v1", "v2") = %v, %v`, tags, any)
+	}
+	if tags, any := etagList(`"v1", *`); !any || tags != nil {
+		t.Fatalf(`etagList("v1", *) = %v, %v — "*" anywhere must mean match-any`, tags, any)
+	}
+
+	ts := newTestServer(t)
+	cur := do(t, "GET", ts.URL+"/rules", nil, http.StatusOK)["version"].(string)
+	put := func(ifMatch string, wantStatus int) {
+		t.Helper()
+		req, err := http.NewRequest("PUT", ts.URL+"/rules", strings.NewReader("([CC,ZIP] -> STR, (_, _ || _))\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("If-Match", ifMatch)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("PUT /rules with If-Match %s: status %d, want %d", ifMatch, resp.StatusCode, wantStatus)
+		}
+	}
+	put(`"stale"`, http.StatusConflict)
+	put(`"stale", "`+cur+`"`, http.StatusOK) // list naming the current version
+	put(`*`, http.StatusOK)                  // match-any, not a literal version
+
+	// If-None-Match: * matches whatever is served — always 304 on GET.
+	req, _ := http.NewRequest("GET", ts.URL+"/rules", nil)
+	req.Header.Set("If-None-Match", "*")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("GET /rules with If-None-Match *: status %d, want 304", resp.StatusCode)
+	}
+}
+
 // TestRemineEndpoint: a synchronous remine over the live tuples swaps in the
 // discovered rules, records the run for /health, and a second remine over
 // unchanged data keeps the serving set by fingerprint.

@@ -175,6 +175,42 @@ func writeOpError(w http.ResponseWriter, r *http.Request, err error) {
 	}
 }
 
+// etagList parses an If-Match/If-None-Match header into its bare entity
+// tags: a comma-separated list of quoted (optionally W/-prefixed) tags, per
+// RFC 9110. matchAny reports a "*" anywhere in the list, which matches every
+// current version; an empty header yields (nil, false).
+func etagList(header string) (tags []string, matchAny bool) {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if part == "*" {
+			return nil, true
+		}
+		part = strings.TrimPrefix(part, "W/")
+		tags = append(tags, strings.Trim(part, `"`))
+	}
+	return tags, false
+}
+
+// etagMatch reports whether an If-Match/If-None-Match header matches the
+// current version: "*" matches whenever a version is served, otherwise the
+// version must appear among the listed tags. An empty header never matches
+// (callers treat it as "header absent").
+func etagMatch(header, version string) bool {
+	tags, matchAny := etagList(header)
+	if matchAny {
+		return version != ""
+	}
+	for _, tag := range tags {
+		if tag == version {
+			return true
+		}
+	}
+	return false
+}
+
 // pageWindow resolves the limit/cursor query parameters to a [lo,hi) window
 // over n items held in a fixed deterministic order, and, when items remain
 // past the window, the cursor of the next page. No limit means everything.
@@ -298,7 +334,7 @@ func (s *server) health(w http.ResponseWriter, _ *http.Request) {
 func (s *server) rules(w http.ResponseWriter, r *http.Request) {
 	// The 304 polling fast path costs only the cached digest, no set copy.
 	if match := r.Header.Get("If-None-Match"); match != "" {
-		if v := s.eng.RulesVersion(); strings.Contains(match, `"`+v+`"`) {
+		if v := s.eng.RulesVersion(); etagMatch(match, v) {
 			w.Header().Set("ETag", `"`+v+`"`)
 			w.WriteHeader(http.StatusNotModified)
 			return
@@ -346,7 +382,7 @@ func (s *server) putRules(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if match := r.Header.Get("If-Match"); match != "" {
-		if v := s.eng.RulesVersion(); !strings.Contains(match, `"`+v+`"`) {
+		if v := s.eng.RulesVersion(); !etagMatch(match, v) {
 			writeError(w, r, http.StatusConflict, codeConflict,
 				fmt.Errorf("the served rules version is %q, which does not match If-Match %s", v, match))
 			return

@@ -32,7 +32,9 @@ type Op struct {
 	// and At become unassigned holes (exactly like ids freed by Delete), and
 	// the next sequential insert continues after the highest id ever pinned.
 	// This is how a cluster coordinator keeps globally assigned ids stable on
-	// the owning shard; single-node clients normally leave it nil.
+	// the owning shard; single-node clients normally leave it nil. A pin more
+	// than Options.MaxPinGap ids past the current end is rejected — each hole
+	// keeps a row-table slot, so the gap is an allocation the op commands.
 	At *int `json:"at,omitempty"`
 }
 
@@ -200,6 +202,14 @@ func (e *Engine) resolve(ops []Op) ([]resolvedOp, []int, error) {
 				if id < 0 {
 					return fail(i, fmt.Errorf("violation: insert at negative id %d", id))
 				}
+				// Every id below the pin keeps a row-table slot, so the gap it
+				// opens is an allocation the caller commands; bound it here, in
+				// validation, so an oversized pin fails the whole batch before
+				// the WAL append and is never logged (a logged pin would grow
+				// the table again on every replay).
+				if gap := id - end; e.maxPinGap >= 0 && gap > e.maxPinGap {
+					return fail(i, fmt.Errorf("violation: insert at id %d opens %d unassigned ids past the current end %d, above the %d limit", id, gap, end, e.maxPinGap))
+				}
 				if _, live := rowAt(id); live {
 					return fail(i, fmt.Errorf("violation: insert at id %d: tuple exists", id))
 				}
@@ -247,8 +257,8 @@ func (e *Engine) apply(resolved []resolvedOp) {
 	for _, r := range resolved {
 		switch r.kind {
 		case OpInsert:
-			for len(e.rows) <= r.id {
-				e.rows = append(e.rows, nil)
+			if n := r.id + 1 - len(e.rows); n > 0 {
+				e.rows = append(e.rows, make([][]int32, n)...)
 			}
 			e.rows[r.id] = r.new
 			e.live++

@@ -74,6 +74,56 @@ func TestInsertAt(t *testing.T) {
 	}
 }
 
+// TestInsertAtGapBound: a pin far past the current end is a validation
+// error — the holes it would open are an allocation the op commands — and,
+// on a durable engine, the rejected op never reaches the write-ahead log,
+// so a restart replays cleanly instead of crash-looping on a poison record.
+func TestInsertAtGapBound(t *testing.T) {
+	eng := custEngine(t, true, violation.Options{MaxPinGap: 100}) // ids 0..7 live
+	at := func(id int) *int { return &id }
+	row := []string{"01", "908", "7777777", "Pat", "Tree Ave.", "MH", "07974"}
+
+	// end is 8: a pin at 108 opens exactly 100 holes and is the last legal one.
+	if _, err := eng.ApplyBatch([]violation.Op{{Kind: violation.OpInsert, Values: row, At: at(108)}}); err != nil {
+		t.Fatalf("pin at the gap limit must be accepted: %v", err)
+	}
+	if _, err := eng.ApplyBatch([]violation.Op{{Kind: violation.OpInsert, Values: row, At: at(210)}}); err == nil ||
+		!strings.Contains(err.Error(), "unassigned ids past the current end") {
+		t.Fatalf("pin past the gap limit: err = %v", err)
+	}
+	if eng.NextID() != 109 {
+		t.Fatalf("rejected pin must not move NextID: %d", eng.NextID())
+	}
+	// The default bound refuses an allocation-bomb pin outright.
+	def := custEngine(t, true, violation.Options{})
+	huge := violation.DefaultMaxPinGap + 10
+	if _, err := def.ApplyBatch([]violation.Op{{Kind: violation.OpInsert, Values: row, At: at(huge)}}); err == nil {
+		t.Fatal("default engine must refuse a pin far past the end")
+	}
+	// A negative MaxPinGap disables the bound.
+	open := custEngine(t, true, violation.Options{MaxPinGap: -1})
+	if _, err := open.ApplyBatch([]violation.Op{{Kind: violation.OpInsert, Values: row, At: at(9_000)}}); err != nil {
+		t.Fatalf("unbounded engine must accept a wide pin: %v", err)
+	}
+
+	// Durable: the rejected pin is never logged, so the WAL replays clean.
+	dir := t.TempDir()
+	deng, st := durableEngine(t, dir, violation.StoreOptions{})
+	atHuge := violation.DefaultMaxPinGap * 3
+	if _, err := deng.ApplyBatch([]violation.Op{{Kind: violation.OpInsert, Values: row, At: &atHuge}}); err == nil {
+		t.Fatal("durable engine must refuse the oversized pin")
+	}
+	ok := 30
+	if _, err := deng.ApplyBatch([]violation.Op{{Kind: violation.OpInsert, Values: row, At: &ok}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back := reload(t, dir)
+	assertSameState(t, deng, back)
+}
+
 // TestInsertAtJSON: the wire codec round-trips "at" on inserts and rejects
 // it on ops that do not assign ids.
 func TestInsertAtJSON(t *testing.T) {

@@ -118,7 +118,24 @@ type Options struct {
 	// delta, older readers get ErrCompacted and must resync with a full read.
 	// 0 keeps the default (1024); negative disables the history entirely.
 	DeltaHistory int
+	// MaxPinGap bounds how many unassigned ids a pinned insert (Op.At) may
+	// open beyond the current end of the row table. Every id below the pin
+	// keeps a slot, so an unbounded pin is an unbounded allocation — and once
+	// write-ahead logged it would crash every replay. Pins are validated
+	// against this bound before the WAL append, so an oversized pin is
+	// rejected and never logged. 0 keeps the default (DefaultMaxPinGap);
+	// negative disables the bound (trusted embedders only).
+	MaxPinGap int
 }
+
+// DefaultMaxPinGap is the Options.MaxPinGap default: a pinned insert may
+// jump at most this many ids past the current end of the row table. A
+// cluster coordinator assigns ids globally and pins them on the owning
+// shard, so a shard's gap is the fleet's insert volume since that shard
+// last received a row — 2^20 ids (~24 MiB of empty slots) accommodates even
+// heavily skewed partitions while keeping a hostile pin ("at": 1e12) a
+// validation error instead of a multi-terabyte allocation.
+const DefaultMaxPinGap = 1 << 20
 
 // CommitLog is the write-ahead hook of the engine: when attached, Append is
 // called with every mutation — under the engine's write lock, after
@@ -143,18 +160,19 @@ type Engine struct {
 	// mu serialises mutations (Lock) against point reads and snapshot
 	// rebuilds (RLock). The per-rule indexes, rows, dicts and live count are
 	// only written under Lock.
-	mu       sync.RWMutex
-	schema   *core.Schema
-	dicts    []*core.Dict // engine-owned interning tables, one per attribute
-	set      *rules.Set
-	rules    []cfd.CFD
-	indexes  []*core.RuleIndex
-	shards   [][]int   // shard -> indexes it owns (round-robin partition)
-	rows     [][]int32 // tuple id -> encoded row; nil once deleted
-	live     int
-	workers  int
-	shardOpt int // configured Options.Shards, re-applied after a rule swap
-	wal      CommitLog
+	mu        sync.RWMutex
+	schema    *core.Schema
+	dicts     []*core.Dict // engine-owned interning tables, one per attribute
+	set       *rules.Set
+	rules     []cfd.CFD
+	indexes   []*core.RuleIndex
+	shards    [][]int   // shard -> indexes it owns (round-robin partition)
+	rows      [][]int32 // tuple id -> encoded row; nil once deleted
+	live      int
+	workers   int
+	shardOpt  int // configured Options.Shards, re-applied after a rule swap
+	maxPinGap int // resolved Options.MaxPinGap; <0 disables the bound
+	wal       CommitLog
 
 	// epoch counts mutations; snap caches the immutable state snapshot built
 	// at a given epoch. Readers that find a current snapshot never lock.
@@ -207,14 +225,19 @@ func New(attributes []string, set *rules.Set, opts Options) (*Engine, error) {
 	} else if history < 0 {
 		history = 0
 	}
+	maxPinGap := opts.MaxPinGap
+	if maxPinGap == 0 {
+		maxPinGap = DefaultMaxPinGap
+	}
 	e := &Engine{
-		schema:   schema,
-		dicts:    make([]*core.Dict, schema.Arity()),
-		set:      set,
-		workers:  opts.Workers,
-		shardOpt: opts.Shards,
-		deltas:   make([]*Delta, history),
-		watch:    make(chan struct{}),
+		schema:    schema,
+		dicts:     make([]*core.Dict, schema.Arity()),
+		set:       set,
+		workers:   opts.Workers,
+		shardOpt:  opts.Shards,
+		maxPinGap: maxPinGap,
+		deltas:    make([]*Delta, history),
+		watch:     make(chan struct{}),
 	}
 	for a := range e.dicts {
 		e.dicts[a] = core.NewDict()
