@@ -53,18 +53,19 @@ docs-check:
 	./scripts/check_doc_links.sh
 
 # fuzz runs the codec round-trip fuzzers for a short CI-sized budget each —
-# the cfd text codec pair and the rules.Set JSON codec; the corpus seeds also
-# run as normal tests under `make test`.
+# the cfd text codec pair, the rules.Set JSON codec and the violation snapshot
+# codec; the corpus seeds also run as normal tests under `make test`.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./cfd -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./cfd -run '^$$' -fuzz '^FuzzFormat$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./rules -run '^$$' -fuzz '^FuzzJSON$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./violation -run '^$$' -fuzz '^FuzzSnapshotRoundTrip$$' -fuzztime $(FUZZTIME)
 
 # cover enforces ratcheted statement-coverage floors on the serving-critical
 # packages. The floors only move up: raise them when coverage improves, and
 # never lower them to make a failing build pass.
-VIOLATION_COVER_FLOOR ?= 86.0
+VIOLATION_COVER_FLOOR ?= 88.0
 RULES_COVER_FLOOR ?= 92.0
 cover:
 	$(GO) test -coverprofile=cover_violation.out ./violation > /dev/null

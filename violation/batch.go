@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -165,16 +166,15 @@ func (e *Engine) resolve(ops []Op) ([]resolvedOp, []int, error) {
 	// pending inserts (sequential inserts extend it by one; pinned inserts
 	// may jump it forward).
 	var overlay map[int][]int32
-	end := len(e.rows)
+	end := e.tab.slots()
 	rowAt := func(id int) ([]int32, bool) {
 		if row, ok := overlay[id]; ok {
 			return row, row != nil
 		}
-		if id < 0 || id >= len(e.rows) {
+		if !e.tab.live(id) {
 			return nil, false // pending insert ids are always in overlay
 		}
-		row := e.rows[id]
-		return row, row != nil
+		return e.tab.row(id), true
 	}
 	setOverlay := func(id int, row []int32) {
 		if overlay == nil {
@@ -201,6 +201,11 @@ func (e *Engine) resolve(ops []Op) ([]resolvedOp, []int, error) {
 				id = *op.At
 				if id < 0 {
 					return fail(i, fmt.Errorf("violation: insert at negative id %d", id))
+				}
+				// Index group members pack the id into 32 bits; a pin beyond
+				// that space must fail validation, not corrupt packed keys.
+				if uint64(id) > math.MaxUint32 {
+					return fail(i, fmt.Errorf("violation: insert at id %d outside the 32-bit id space", id))
 				}
 				// Every id below the pin keeps a row-table slot, so the gap it
 				// opens is an allocation the caller commands; bound it here, in
@@ -257,16 +262,16 @@ func (e *Engine) apply(resolved []resolvedOp) {
 	for _, r := range resolved {
 		switch r.kind {
 		case OpInsert:
-			if n := r.id + 1 - len(e.rows); n > 0 {
-				e.rows = append(e.rows, make([][]int32, n)...)
+			if n := r.id + 1 - e.tab.slots(); n > 0 {
+				e.tab.grow(n)
 			}
-			e.rows[r.id] = r.new
+			e.tab.set(r.id, r.new)
 			e.live++
 		case OpDelete:
-			e.rows[r.id] = nil
+			e.tab.clear(r.id)
 			e.live--
 		case OpUpdate:
-			e.rows[r.id] = r.new
+			e.tab.set(r.id, r.new)
 		}
 	}
 	// Shards own disjoint rule positions, so the per-rule change maps are

@@ -2,9 +2,11 @@ package violation_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"reflect"
 	"sort"
 	"strconv"
@@ -84,17 +86,42 @@ func oracleRulePool(t *testing.T) []*rules.Set {
 	}
 }
 
+// oracleTricky holds values that stress the dictionary and group-key layers:
+// empty strings, lone separators, unicode, and NUL. A joined-string group key
+// could not tell some of these apart; packed dictionary codes must.
+var oracleTricky = []string{"", " ", "|", "a|b", "b|a", "ünïcode-Ω", "né", "\x00", "💥"}
+
+// oracleCollidingPairs are adjacent-attribute value pairs whose naive string
+// join ("a|b"+"c" vs "a"+"b|c") is identical even though the tuples differ.
+var oracleCollidingPairs = [][2]string{
+	{"a|b", "c"}, {"a", "b|c"}, {"a|b|c", ""}, {"", "a|b|c"}, {"a|", "c"}, {"a", "|c"},
+}
+
 // oracleStep applies one random op (insert / delete / update / batch / swap)
 // to both the engine and the model. It returns a description for failure
 // messages.
 func oracleStep(t *testing.T, rng *rand.Rand, eng *violation.Engine, m *oracleModel, pool []*rules.Set) string {
 	t.Helper()
 	row := func() []string {
-		return []string{
+		vals := []string{
 			strconv.Itoa(rng.Intn(3)), strconv.Itoa(rng.Intn(4)), strconv.Itoa(rng.Intn(5)),
 			"N" + strconv.Itoa(rng.Intn(6)), "S" + strconv.Itoa(rng.Intn(4)),
 			"C" + strconv.Itoa(rng.Intn(3)), "Z" + strconv.Itoa(rng.Intn(4)),
 		}
+		// Sprinkle hostile values over the base distribution: single tricky
+		// values, a high-cardinality tail (every insert a fresh dictionary
+		// entry), and join-colliding pairs across adjacent attributes.
+		switch rng.Intn(10) {
+		case 0:
+			vals[rng.Intn(len(vals))] = oracleTricky[rng.Intn(len(oracleTricky))]
+		case 1:
+			vals[rng.Intn(len(vals))] = "h" + strconv.Itoa(rng.Intn(100000))
+		case 2:
+			a := rng.Intn(len(vals) - 1)
+			p := oracleCollidingPairs[rng.Intn(len(oracleCollidingPairs))]
+			vals[a], vals[a+1] = p[0], p[1]
+		}
+		return vals
 	}
 	live := m.liveIDs()
 	switch k := rng.Intn(20); {
@@ -183,7 +210,6 @@ func TestRandomizedOracle(t *testing.T) {
 	for _, seed := range seeds {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
-			rng := rand.New(rand.NewSource(seed))
 			startSet := pool[0]
 			eng, err := violation.New(fx.rel.Attributes(), startSet, violation.Options{Shards: 1 + int(seed%4)})
 			if err != nil {
@@ -192,59 +218,133 @@ func TestRandomizedOracle(t *testing.T) {
 			if err := eng.BulkLoad(fx.rel); err != nil {
 				t.Fatal(err)
 			}
-			m := &oracleModel{rows: make(map[int][]string), nextID: fx.rel.Size(), set: startSet}
-			for i := 0; i < fx.rel.Size(); i++ {
-				m.rows[i] = fx.rel.Row(i)
-			}
-			// The delta leg mirrors an API client: hold the previous full
-			// report and the rule table it was relative to, and after every
-			// step reconstruct the new report from Changes alone.
-			prev := eng.Report()
-			table := startSet.CFDs()
-			for step := 0; step < steps; step++ {
-				desc := oracleStep(t, rng, eng, m, pool)
-				wantViols, wantDirty := m.expected(t, fx.rel.Attributes())
-				rep := eng.Report()
-				d, err := eng.Changes(prev.Epoch)
-				if err != nil {
-					t.Fatalf("seed %d step %d (%s): Changes(%d): %v", seed, step, desc, prev.Epoch, err)
-				}
-				applied := d.Apply(prev, table)
-				if applied.Epoch != rep.Epoch || applied.RulesChecked != rep.RulesChecked ||
-					!violationsEqual(applied.Violations, rep.Violations) ||
-					!sameIDs(applied.DirtyTuples, rep.DirtyTuples) {
-					t.Fatalf("seed %d step %d (%s): replaying delta %+v onto the previous report diverges\napplied: %+v\nfresh:   %+v",
-						seed, step, desc, d, applied, rep)
-				}
-				prev = applied
-				if d.Rules != nil {
-					table = d.Rules
-				}
-				if rep.RulesChecked != m.set.Len() {
-					t.Fatalf("seed %d step %d (%s): engine checks %d rules, oracle %d",
-						seed, step, desc, rep.RulesChecked, m.set.Len())
-				}
-				gotDirty := rep.DirtyTuples
-				if len(gotDirty) == 0 {
-					gotDirty = nil
-				}
-				if len(wantDirty) == 0 {
-					wantDirty = nil
-				}
-				if !reflect.DeepEqual(gotDirty, wantDirty) {
-					t.Fatalf("seed %d step %d (%s): dirty set\nengine: %v\noracle: %v",
-						seed, step, desc, gotDirty, wantDirty)
-				}
-				if !violationsEqual(rep.Violations, wantViols) {
-					t.Fatalf("seed %d step %d (%s): violations\nengine: %v\noracle: %v",
-						seed, step, desc, rep.Violations, wantViols)
-				}
-				if eng.Size() != len(m.rows) {
-					t.Fatalf("seed %d step %d (%s): engine size %d, oracle %d",
-						seed, step, desc, eng.Size(), len(m.rows))
-				}
-			}
+			runOracle(t, seed, steps, eng, pool, fx.rel)
 		})
+	}
+}
+
+// TestRandomizedOracleV1Restore runs the same seeded sequences, but against an
+// engine restored from an old-format (v1, per-tuple row list) snapshot of the
+// fixture relation instead of a fresh bulk load: the legacy restore path must
+// land the engine in a state indistinguishable from the bulk-loaded one.
+func TestRandomizedOracleV1Restore(t *testing.T) {
+	steps := 140
+	if testing.Short() {
+		steps = 40
+	}
+	pool := oracleRulePool(t)
+	fx := fixtures(t)[0]
+	for _, seed := range []int64{1, 7, 23, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			writeV1Snapshot(t, dir, fx.rel, pool[0])
+			st, err := violation.OpenStore(dir, violation.StoreOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { st.Close() })
+			eng, found, err := st.Load(violation.Options{Shards: 1 + int(seed%4)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !found {
+				t.Fatal("v1 snapshot not found")
+			}
+			runOracle(t, seed, steps, eng, pool, fx.rel)
+		})
+	}
+}
+
+// writeV1Snapshot writes a format-1 snapshot.json — the pre-columnar layout
+// with a per-tuple id/values list and no dictionary sections — holding rel
+// under set, built by hand so the test keeps exercising the legacy decoder
+// even though the engine only writes format 2 now.
+func writeV1Snapshot(t *testing.T, dir string, rel *cfd.Relation, set *rules.Set) {
+	t.Helper()
+	type v1Tuple struct {
+		ID     int      `json:"id"`
+		Values []string `json:"values"`
+	}
+	tuples := make([]v1Tuple, rel.Size())
+	for i := range tuples {
+		tuples[i] = v1Tuple{ID: i, Values: rel.Row(i)}
+	}
+	file := map[string]any{
+		"format":     1,
+		"wal_seq":    0,
+		"attributes": rel.Attributes(),
+		"ruleset":    set,
+		"next_id":    rel.Size(),
+		"tuples":     tuples,
+	}
+	data, err := json.Marshal(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "snapshot.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runOracle seeds the model from rel (which the engine must already hold),
+// then drives steps random ops, checking the engine's full report — and a
+// delta-replay client leg — against the naive rescan oracle after every one.
+func runOracle(t *testing.T, seed int64, steps int, eng *violation.Engine, pool []*rules.Set, rel *cfd.Relation) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	startSet := pool[0]
+	m := &oracleModel{rows: make(map[int][]string), nextID: rel.Size(), set: startSet}
+	for i := 0; i < rel.Size(); i++ {
+		m.rows[i] = rel.Row(i)
+	}
+	// The delta leg mirrors an API client: hold the previous full
+	// report and the rule table it was relative to, and after every
+	// step reconstruct the new report from Changes alone.
+	prev := eng.Report()
+	table := startSet.CFDs()
+	for step := 0; step < steps; step++ {
+		desc := oracleStep(t, rng, eng, m, pool)
+		wantViols, wantDirty := m.expected(t, rel.Attributes())
+		rep := eng.Report()
+		d, err := eng.Changes(prev.Epoch)
+		if err != nil {
+			t.Fatalf("seed %d step %d (%s): Changes(%d): %v", seed, step, desc, prev.Epoch, err)
+		}
+		applied := d.Apply(prev, table)
+		if applied.Epoch != rep.Epoch || applied.RulesChecked != rep.RulesChecked ||
+			!violationsEqual(applied.Violations, rep.Violations) ||
+			!sameIDs(applied.DirtyTuples, rep.DirtyTuples) {
+			t.Fatalf("seed %d step %d (%s): replaying delta %+v onto the previous report diverges\napplied: %+v\nfresh:   %+v",
+				seed, step, desc, d, applied, rep)
+		}
+		prev = applied
+		if d.Rules != nil {
+			table = d.Rules
+		}
+		if rep.RulesChecked != m.set.Len() {
+			t.Fatalf("seed %d step %d (%s): engine checks %d rules, oracle %d",
+				seed, step, desc, rep.RulesChecked, m.set.Len())
+		}
+		gotDirty := rep.DirtyTuples
+		if len(gotDirty) == 0 {
+			gotDirty = nil
+		}
+		if len(wantDirty) == 0 {
+			wantDirty = nil
+		}
+		if !reflect.DeepEqual(gotDirty, wantDirty) {
+			t.Fatalf("seed %d step %d (%s): dirty set\nengine: %v\noracle: %v",
+				seed, step, desc, gotDirty, wantDirty)
+		}
+		if !violationsEqual(rep.Violations, wantViols) {
+			t.Fatalf("seed %d step %d (%s): violations\nengine: %v\noracle: %v",
+				seed, step, desc, rep.Violations, wantViols)
+		}
+		if eng.Size() != len(m.rows) {
+			t.Fatalf("seed %d step %d (%s): engine size %d, oracle %d",
+				seed, step, desc, eng.Size(), len(m.rows))
+		}
 	}
 }
 

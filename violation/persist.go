@@ -91,17 +91,30 @@ func (rec walRecord) cost() int {
 	return len(rec.Ops)
 }
 
-// snapshotFile is the compacted state on the wire.
+// snapshotFile is the compacted state on the wire. Format 2 (written by this
+// build) stores the relation columnar and dictionary-encoded: one string
+// dictionary per attribute holding the distinct values of its live tuples in
+// first-use order (scanning ids ascending), and one int32 column per
+// attribute with the dictionary code of every id slot, -1 marking a dead id
+// (deleted, or a hole below a pinned insert). The remap to first-use codes at
+// encode time garbage-collects dictionary entries no live tuple carries and
+// makes re-encoding a loaded snapshot byte-stable. Format 1 (older builds)
+// stored each live tuple as an (id, values) pair; it is still read, never
+// written.
 type snapshotFile struct {
-	Format     int          `json:"format"`
-	WalSeq     uint64       `json:"wal_seq"`
-	Attributes []string     `json:"attributes"`
-	RuleSet    *rules.Set   `json:"ruleset"`
-	NextID     int          `json:"next_id"`
-	Tuples     []savedTuple `json:"tuples"`
+	Format     int        `json:"format"`
+	WalSeq     uint64     `json:"wal_seq"`
+	Attributes []string   `json:"attributes"`
+	RuleSet    *rules.Set `json:"ruleset"`
+	NextID     int        `json:"next_id"`
+	// Tuples is the format 1 relation section.
+	Tuples []savedTuple `json:"tuples,omitempty"`
+	// Dicts and Columns are the format 2 relation section.
+	Dicts   [][]string `json:"dicts,omitempty"`
+	Columns [][]int32  `json:"columns,omitempty"`
 }
 
-// savedTuple is one live tuple with its stable id.
+// savedTuple is one live tuple with its stable id (format 1 only).
 type savedTuple struct {
 	ID     int      `json:"id"`
 	Values []string `json:"values"`
@@ -110,8 +123,86 @@ type savedTuple struct {
 const (
 	snapshotName  = "snapshot.json"
 	walName       = "wal.jsonl"
-	currentFormat = 1
+	currentFormat = 2
+	legacyFormat  = 1
 )
+
+// decodeSnapshotFile parses and structurally validates a snapshot. Every
+// invariant the restore path relies on without re-checking is enforced here,
+// so a corrupt or truncated file is rejected with an error — never a panic —
+// before any allocation sized by its contents.
+func decodeSnapshotFile(data []byte) (*snapshotFile, error) {
+	var file snapshotFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return nil, err
+	}
+	if err := file.validate(); err != nil {
+		return nil, err
+	}
+	return &file, nil
+}
+
+// validate checks the snapshot's structural invariants (see
+// decodeSnapshotFile). Schema-level validity (attribute names, rules) is
+// checked by New on restore.
+func (f *snapshotFile) validate() error {
+	if f.Format != legacyFormat && f.Format != currentFormat {
+		return fmt.Errorf("format %d, this build reads %d and %d", f.Format, legacyFormat, currentFormat)
+	}
+	if len(f.Attributes) == 0 {
+		return fmt.Errorf("no attributes")
+	}
+	if f.NextID < 0 {
+		return fmt.Errorf("negative next_id %d", f.NextID)
+	}
+	arity := len(f.Attributes)
+	if f.Format == legacyFormat {
+		if f.Dicts != nil || f.Columns != nil {
+			return fmt.Errorf("format 1 snapshot carries format 2 sections")
+		}
+		if f.NextID < len(f.Tuples) {
+			return fmt.Errorf("next_id %d below its %d tuples", f.NextID, len(f.Tuples))
+		}
+		for _, t := range f.Tuples {
+			if t.ID < 0 || t.ID >= f.NextID {
+				return fmt.Errorf("tuple id %d outside [0, %d)", t.ID, f.NextID)
+			}
+			if len(t.Values) != arity {
+				return fmt.Errorf("tuple %d has %d values, schema has %d attributes", t.ID, len(t.Values), arity)
+			}
+		}
+		return nil
+	}
+	if f.Tuples != nil {
+		return fmt.Errorf("format 2 snapshot carries a format 1 tuple section")
+	}
+	if len(f.Dicts) != arity || len(f.Columns) != arity {
+		return fmt.Errorf("%d dictionaries and %d columns for %d attributes", len(f.Dicts), len(f.Columns), arity)
+	}
+	for a := 0; a < arity; a++ {
+		seen := make(map[string]bool, len(f.Dicts[a]))
+		for _, v := range f.Dicts[a] {
+			if seen[v] {
+				return fmt.Errorf("attribute %d dictionary repeats %q", a, v)
+			}
+			seen[v] = true
+		}
+		if len(f.Columns[a]) != f.NextID {
+			return fmt.Errorf("attribute %d column has %d slots, next_id is %d", a, len(f.Columns[a]), f.NextID)
+		}
+		for id, code := range f.Columns[a] {
+			if code != absent && (code < 0 || int(code) >= len(f.Dicts[a])) {
+				return fmt.Errorf("attribute %d slot %d holds code %d outside its %d-value dictionary", a, id, code, len(f.Dicts[a]))
+			}
+			// A dead id must be dead on every column; compare against
+			// attribute 0, the column the engine derives liveness from.
+			if (code == absent) != (f.Columns[0][id] == absent) {
+				return fmt.Errorf("id %d is dead on attribute 0 but not on attribute %d (or vice versa)", id, a)
+			}
+		}
+	}
+	return nil
+}
 
 // OpenStore opens (creating if needed) the state directory: it reads the
 // snapshot, scans the WAL for the last committed sequence number, and
@@ -133,14 +224,11 @@ func OpenStore(dir string, opts StoreOptions) (*Store, error) {
 	data, err := os.ReadFile(filepath.Join(dir, snapshotName))
 	switch {
 	case err == nil:
-		var file snapshotFile
-		if err := json.Unmarshal(data, &file); err != nil {
+		file, err := decodeSnapshotFile(data)
+		if err != nil {
 			return fail(fmt.Errorf("violation: corrupt %s: %w", snapshotName, err))
 		}
-		if file.Format != currentFormat {
-			return fail(fmt.Errorf("violation: %s has format %d, this build reads %d", snapshotName, file.Format, currentFormat))
-		}
-		st.snapFile = &file
+		st.snapFile = file
 		st.snapSeq = file.WalSeq
 		st.seq = file.WalSeq
 	case os.IsNotExist(err):
@@ -301,7 +389,7 @@ func (st *Store) Load(opts Options) (*Engine, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	if err := e.restore(snap.Tuples, snap.NextID); err != nil {
+	if err := e.restoreSnapshot(snap); err != nil {
 		return nil, false, err
 	}
 	// Re-base the epoch onto the WAL sequence before replay: the restored
@@ -373,40 +461,15 @@ func (st *Store) Compact(e *Engine) error {
 func (st *Store) compact(e *Engine) (int, error) {
 	st.compactMu.Lock()
 	defer st.compactMu.Unlock()
-	file := snapshotFile{Format: currentFormat}
-	// Capture under the read lock: the rows slice (inner rows are never
-	// mutated in place — updates swap in fresh slices) and each dictionary's
-	// current value table (append-only; the captured header stays valid).
-	e.mu.RLock()
-	file.Attributes = e.schema.Names()
-	file.RuleSet = e.set
-	file.NextID = len(e.rows)
-	live := e.live
-	rows := append([][]int32(nil), e.rows...)
-	values := make([][]string, len(e.dicts))
-	for a, d := range e.dicts {
-		values[a] = d.Values()
-	}
-	// Writers hold the engine write lock across their Append, so while we
-	// hold the read lock the store's seq exactly matches the captured state.
-	st.mu.Lock()
-	file.WalSeq = st.seq
-	st.mu.Unlock()
-	e.mu.RUnlock()
-
-	// Decode and marshal outside any engine lock.
-	file.Tuples = make([]savedTuple, 0, live)
-	for id, row := range rows {
-		if row == nil {
-			continue
-		}
-		tuple := make([]string, len(row))
-		for a, code := range row {
-			tuple[a] = values[a][code]
-		}
-		file.Tuples = append(file.Tuples, savedTuple{ID: id, Values: tuple})
-	}
-	data, err := json.Marshal(&file)
+	// Writers hold the engine write lock across their Append, so while the
+	// capture holds the engine read lock the store's seq exactly matches the
+	// captured state.
+	file := e.captureSnapshot(func() uint64 {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return st.seq
+	})
+	data, err := json.Marshal(file)
 	if err != nil {
 		return 0, fmt.Errorf("violation: compacting: %w", err)
 	}
@@ -442,7 +505,7 @@ func (st *Store) compact(e *Engine) (int, error) {
 
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	st.snapFile = &file
+	st.snapFile = file
 	st.snapSeq = file.WalSeq
 	if st.seq == file.WalSeq {
 		// Nothing landed since the capture: the whole log is folded in.
@@ -580,41 +643,145 @@ func (st *Store) Close() error {
 	return err
 }
 
-// restore rebuilds the row table from a snapshot: each saved tuple lands at
-// its original id, deleted ids stay as holes, and the next id to assign is
-// nextID. Index building fans out across the rule shards like a bulk load.
+// captureSnapshot captures the engine state — and, through seq, the WAL
+// sequence it corresponds to — at one consistent point under the read lock
+// (an O(live tuples × arity) int32 copy; the canonicalisation below runs
+// unlocked) and encodes it as a format 2 snapshot. Codes are remapped to
+// first-use order over an ascending-id scan, so dictionary entries no live
+// tuple carries are dropped and re-encoding a restored snapshot reproduces
+// it byte for byte, whatever the engine's internal code assignment. A nil
+// seq records sequence 0.
+func (e *Engine) captureSnapshot(seq func() uint64) *snapshotFile {
+	file := &snapshotFile{Format: currentFormat}
+	e.mu.RLock()
+	file.Attributes = e.schema.Names()
+	file.RuleSet = e.set
+	file.NextID = e.tab.slots()
+	cols := e.tab.snapshotCols()
+	values := make([][]string, len(e.dicts))
+	for a, d := range e.dicts {
+		values[a] = d.Values() // append-only; the captured header stays valid
+	}
+	if seq != nil {
+		file.WalSeq = seq()
+	}
+	e.mu.RUnlock()
+
+	file.Dicts = make([][]string, len(cols))
+	file.Columns = make([][]int32, len(cols))
+	for a := range cols {
+		remap := make([]int32, len(values[a]))
+		for i := range remap {
+			remap[i] = -1
+		}
+		dict := []string{}
+		col := cols[a] // owned copy: remapped in place
+		if col == nil {
+			col = []int32{}
+		}
+		for id, code := range col {
+			if code == absent {
+				continue
+			}
+			if remap[code] < 0 {
+				remap[code] = int32(len(dict))
+				dict = append(dict, values[a][code])
+			}
+			col[id] = remap[code]
+		}
+		file.Dicts[a] = dict
+		file.Columns[a] = col
+	}
+	return file
+}
+
+// restoreSnapshot rebuilds the engine's relation from a validated snapshot
+// (see decodeSnapshotFile), dispatching on its format.
+func (e *Engine) restoreSnapshot(file *snapshotFile) error {
+	if file.Format == currentFormat {
+		return e.restoreColumns(file)
+	}
+	return e.restore(file.Tuples, file.NextID)
+}
+
+// restore rebuilds the row table from a format 1 snapshot: each saved tuple
+// lands at its original id, deleted ids stay as holes, and the next id to
+// assign is nextID. Index building fans out across the rule shards like a
+// bulk load.
 func (e *Engine) restore(tuples []savedTuple, nextID int) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	defer e.resetViewLocked()
-	if len(e.rows) != 0 {
+	if e.tab.slots() != 0 {
 		return fmt.Errorf("violation: restore into a non-empty engine")
 	}
-	if nextID < len(tuples) {
+	if nextID < 0 || nextID < len(tuples) {
 		return fmt.Errorf("violation: snapshot next_id %d below its %d tuples", nextID, len(tuples))
 	}
-	e.rows = make([][]int32, nextID)
+	e.tab.grow(nextID)
 	for _, t := range tuples {
 		if t.ID < 0 || t.ID >= nextID {
 			return fmt.Errorf("violation: snapshot tuple id %d outside [0, %d)", t.ID, nextID)
 		}
-		if e.rows[t.ID] != nil {
+		if e.tab.live(t.ID) {
 			return fmt.Errorf("violation: snapshot tuple id %d duplicated", t.ID)
 		}
 		row, err := e.encode(t.Values)
 		if err != nil {
 			return err
 		}
-		e.rows[t.ID] = row
+		e.tab.set(t.ID, row)
 		e.live++
 	}
+	return e.buildIndexesLocked()
+}
+
+// restoreColumns rebuilds the row table from a format 2 snapshot: each
+// attribute's file codes are translated into the engine's code space once
+// (the engine dictionaries already hold the rule constants New interned, so
+// file and engine codes differ), then the columns are copied with a tight
+// integer loop.
+func (e *Engine) restoreColumns(file *snapshotFile) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	defer e.resetViewLocked()
+	if e.tab.slots() != 0 {
+		return fmt.Errorf("violation: restore into a non-empty engine")
+	}
+	e.tab.grow(file.NextID)
+	for a := range e.tab.cols {
+		trans := make([]int32, len(file.Dicts[a]))
+		for code, v := range file.Dicts[a] {
+			trans[code] = e.dicts[a].Encode(v)
+		}
+		col := e.tab.cols[a]
+		for id, code := range file.Columns[a] {
+			if code != absent {
+				col[id] = trans[code]
+			}
+		}
+	}
+	for id := 0; id < e.tab.slots(); id++ {
+		if e.tab.live(id) {
+			e.live++
+		}
+	}
+	return e.buildIndexesLocked()
+}
+
+// buildIndexesLocked builds every rule index over the restored row table,
+// fanned out across the rule shards like a bulk load. Callers hold the write
+// lock.
+func (e *Engine) buildIndexesLocked() error {
 	return pool.Each(context.Background(), e.workers, len(e.shards), func(_, s int) {
-		for _, ri := range e.shards[s] {
-			ix := e.indexes[ri]
-			for id, row := range e.rows {
-				if row != nil {
-					ix.Insert(id, row)
-				}
+		row := make([]int32, e.schema.Arity())
+		for id := 0; id < e.tab.slots(); id++ {
+			if !e.tab.live(id) {
+				continue
+			}
+			e.tab.gather(id, row)
+			for _, ri := range e.shards[s] {
+				e.indexes[ri].Insert(id, row)
 			}
 		}
 	})

@@ -78,10 +78,13 @@ func (e *Engine) SwapRules(ctx context.Context, set *rules.Set) (rules.Delta, er
 	if len(fresh) > 0 {
 		if err := pool.Each(ctx, e.workers, len(fresh), func(_, j int) {
 			ix := newIndexes[fresh[j]]
-			for id, row := range e.rows {
-				if row != nil {
-					ix.Insert(id, row)
+			row := make([]int32, e.schema.Arity())
+			for id := 0; id < e.tab.slots(); id++ {
+				if !e.tab.live(id) {
+					continue
 				}
+				e.tab.gather(id, row)
+				ix.Insert(id, row)
 			}
 		}); err != nil {
 			return rules.Delta{}, err

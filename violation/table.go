@@ -1,0 +1,81 @@
+package violation
+
+// absent is the sentinel code marking a dead id slot in the columnar row
+// table: an id that was deleted, or a hole opened below a pinned insert. It
+// can never collide with a real code — dictionary codes are dense from 0.
+const absent int32 = -1
+
+// table is the engine's columnar tuple store: one dense []int32 per
+// attribute, indexed by tuple id, holding the id's dictionary code for that
+// attribute (absent on every column once the id is dead). Compared to the
+// previous per-id row slices this drops the per-tuple allocation and slice
+// header entirely — a live or dead id costs exactly arity × 4 bytes — and
+// lets bulk loads translate whole columns with tight integer loops.
+//
+// Liveness is derived from column 0 (an id is live iff its column-0 code is
+// not absent); set and clear keep every column consistent, so any column
+// would do. The engine rejects zero-attribute schemas, so column 0 exists.
+type table struct {
+	cols [][]int32
+}
+
+func newTable(arity int) *table {
+	return &table{cols: make([][]int32, arity)}
+}
+
+// slots returns the number of id slots (ids ever assigned, live or not).
+func (t *table) slots() int { return len(t.cols[0]) }
+
+// live reports whether id is an assigned, non-deleted tuple.
+func (t *table) live(id int) bool {
+	return id >= 0 && id < len(t.cols[0]) && t.cols[0][id] != absent
+}
+
+// grow appends n absent slots to every column.
+func (t *table) grow(n int) {
+	for a := range t.cols {
+		col := t.cols[a]
+		for i := 0; i < n; i++ {
+			col = append(col, absent)
+		}
+		t.cols[a] = col
+	}
+}
+
+// set writes the encoded row at id, which must be an existing slot.
+func (t *table) set(id int, row []int32) {
+	for a := range t.cols {
+		t.cols[a][id] = row[a]
+	}
+}
+
+// clear marks id dead.
+func (t *table) clear(id int) {
+	for a := range t.cols {
+		t.cols[a][id] = absent
+	}
+}
+
+// gather copies the row at id into dst, which must have arity length.
+func (t *table) gather(id int, dst []int32) {
+	for a := range t.cols {
+		dst[a] = t.cols[a][id]
+	}
+}
+
+// row returns a fresh copy of the encoded row at id.
+func (t *table) row(id int) []int32 {
+	dst := make([]int32, len(t.cols))
+	t.gather(id, dst)
+	return dst
+}
+
+// snapshotCols returns a deep copy of every column, for compaction captures
+// that must stay stable while the engine keeps mutating.
+func (t *table) snapshotCols() [][]int32 {
+	out := make([][]int32, len(t.cols))
+	for a := range t.cols {
+		out[a] = append([]int32(nil), t.cols[a]...)
+	}
+	return out
+}

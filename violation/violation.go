@@ -166,8 +166,8 @@ type Engine struct {
 	set       *rules.Set
 	rules     []cfd.CFD
 	indexes   []*core.RuleIndex
-	shards    [][]int   // shard -> indexes it owns (round-robin partition)
-	rows      [][]int32 // tuple id -> encoded row; nil once deleted
+	shards    [][]int // shard -> indexes it owns (round-robin partition)
+	tab       *table  // columnar row store: tab.cols[a][id], absent once deleted
 	live      int
 	workers   int
 	shardOpt  int // configured Options.Shards, re-applied after a rule swap
@@ -212,6 +212,9 @@ type snapshot struct {
 // are fine (they simply match no tuple until one arrives). The set's rule
 // order is preserved in every snapshot.
 func New(attributes []string, set *rules.Set, opts Options) (*Engine, error) {
+	if len(attributes) == 0 {
+		return nil, fmt.Errorf("violation: schema needs at least one attribute")
+	}
 	schema, err := core.NewSchema(attributes...)
 	if err != nil {
 		return nil, fmt.Errorf("violation: %w", err)
@@ -231,6 +234,7 @@ func New(attributes []string, set *rules.Set, opts Options) (*Engine, error) {
 	}
 	e := &Engine{
 		schema:    schema,
+		tab:       newTable(schema.Arity()),
 		dicts:     make([]*core.Dict, schema.Arity()),
 		set:       set,
 		workers:   opts.Workers,
@@ -335,12 +339,13 @@ func (e *Engine) encode(values []string) ([]int32, error) {
 	return row, nil
 }
 
-// row returns the encoded row of a live tuple id. Callers must hold mu.
+// row returns a fresh copy of the encoded row of a live tuple id. Callers
+// must hold mu.
 func (e *Engine) row(id int) ([]int32, error) {
-	if id < 0 || id >= len(e.rows) || e.rows[id] == nil {
+	if !e.tab.live(id) {
 		return nil, fmt.Errorf("violation: tuple %d: %w", id, ErrNotFound)
 	}
-	return e.rows[id], nil
+	return e.tab.row(id), nil
 }
 
 // AttachWAL attaches a write-ahead log: from now on every mutation is
@@ -421,35 +426,34 @@ func (e *Engine) BulkLoadContext(ctx context.Context, rel *cfd.Relation) error {
 		}
 	}
 	// The relation is already dictionary-encoded, so instead of re-interning
-	// every cell as a string, translate each attribute's codes into the
-	// engine's code space once (O(distinct values) string work per attribute)
-	// and map rows by integer indexing. Interning mutates the shared
+	// every cell as a string, translate each attribute's whole column into the
+	// engine's code space (O(distinct values) string work per attribute, then
+	// a tight integer loop per column). Interning mutates the shared
 	// dictionaries, so this part runs sequentially; the per-shard index
 	// building below carries the real cost and fans out.
-	start := len(e.rows)
+	start := e.tab.slots()
+	end := start + rel.Size()
 	inner := rel.Encoded()
 	arity := e.schema.Arity()
-	trans := make([][]int32, arity)
 	for a := 0; a < arity; a++ {
 		values := inner.Dict(a).Values()
-		trans[a] = make([]int32, len(values))
+		trans := make([]int32, len(values))
 		for code, v := range values {
-			trans[a][code] = e.dicts[a].Encode(v)
+			trans[code] = e.dicts[a].Encode(v)
 		}
-	}
-	for t := 0; t < rel.Size(); t++ {
-		row := make([]int32, arity)
-		for a := 0; a < arity; a++ {
-			row[a] = trans[a][inner.Value(t, a)]
+		col := e.tab.cols[a]
+		for _, c := range inner.Column(a) {
+			col = append(col, trans[c])
 		}
-		e.rows = append(e.rows, row)
-		e.live++
+		e.tab.cols[a] = col
 	}
+	e.live += rel.Size()
 	err := pool.Each(ctx, e.workers, len(e.shards), func(_, s int) {
-		for _, ri := range e.shards[s] {
-			ix := e.indexes[ri]
-			for id := start; id < len(e.rows); id++ {
-				ix.Insert(id, e.rows[id])
+		row := make([]int32, arity)
+		for id := start; id < end; id++ {
+			e.tab.gather(id, row)
+			for _, ri := range e.shards[s] {
+				e.indexes[ri].Insert(id, row)
 			}
 		}
 	})
@@ -473,7 +477,7 @@ func (e *Engine) Size() int {
 func (e *Engine) NextID() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return len(e.rows)
+	return e.tab.slots()
 }
 
 // Epoch returns the engine's mutation epoch: it increases after every
@@ -547,21 +551,21 @@ func (e *Engine) Tuples(start, limit int) (tuples []Tuple, next int, more bool) 
 	if start < 0 {
 		start = 0
 	}
-	for id := start; id < len(e.rows); id++ {
-		row := e.rows[id]
-		if row == nil {
+	arity := e.schema.Arity()
+	for id := start; id < e.tab.slots(); id++ {
+		if !e.tab.live(id) {
 			continue
 		}
 		if limit > 0 && len(tuples) == limit {
 			return tuples, id, true
 		}
-		values := make([]string, len(row))
-		for a, code := range row {
-			values[a] = e.dicts[a].Value(code)
+		values := make([]string, arity)
+		for a := 0; a < arity; a++ {
+			values[a] = e.dicts[a].Value(e.tab.cols[a][id])
 		}
 		tuples = append(tuples, Tuple{ID: id, Values: values})
 	}
-	return tuples, len(e.rows), false
+	return tuples, e.tab.slots(), false
 }
 
 // snapshot returns the immutable state snapshot for the current epoch,
@@ -719,13 +723,14 @@ func (e *Engine) Relation() (*cfd.Relation, []int, error) {
 		return nil, nil, fmt.Errorf("violation: %w", err)
 	}
 	ids := make([]int, 0, e.live)
-	for id, row := range e.rows {
-		if row == nil {
+	arity := e.schema.Arity()
+	values := make([]string, arity)
+	for id := 0; id < e.tab.slots(); id++ {
+		if !e.tab.live(id) {
 			continue
 		}
-		values := make([]string, len(row))
-		for a, code := range row {
-			values[a] = e.dicts[a].Value(code)
+		for a := 0; a < arity; a++ {
+			values[a] = e.dicts[a].Value(e.tab.cols[a][id])
 		}
 		if err := rel.Append(values...); err != nil {
 			return nil, nil, fmt.Errorf("violation: %w", err)

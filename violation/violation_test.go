@@ -435,6 +435,48 @@ func TestRuleSetMutationSafety(t *testing.T) {
 	}
 }
 
+// TestTupleReadMutationSafety: Row and Tuples decode fresh value slices from
+// the columnar store — never views into engine internals — so a caller
+// scribbling over what they got back must not perturb the engine's tuples,
+// its dictionaries, or its violation report.
+func TestTupleReadMutationSafety(t *testing.T) {
+	eng := custEngine(t, true, violation.Options{})
+	wantRow, err := eng.Row(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRow = append([]string(nil), wantRow...)
+	wantTuples, _, _ := eng.Tuples(0, 0)
+	for i := range wantTuples {
+		wantTuples[i].Values = append([]string(nil), wantTuples[i].Values...)
+	}
+	before := eng.Report()
+
+	leakedRow, err := eng.Row(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range leakedRow {
+		leakedRow[i] = "SCRIBBLED"
+	}
+	leakedTuples, _, _ := eng.Tuples(0, 0)
+	for i := range leakedTuples {
+		for j := range leakedTuples[i].Values {
+			leakedTuples[i].Values[j] = "SCRIBBLED"
+		}
+	}
+
+	if got, err := eng.Row(0); err != nil || !reflect.DeepEqual(got, wantRow) {
+		t.Fatalf("Row(0) changed after mutating returned slices: %v (err %v), want %v", got, err, wantRow)
+	}
+	if got, _, _ := eng.Tuples(0, 0); !reflect.DeepEqual(got, wantTuples) {
+		t.Fatalf("Tuples changed after mutating returned slices:\n%v\nwant\n%v", got, wantTuples)
+	}
+	if !reflect.DeepEqual(eng.Report(), before) {
+		t.Fatal("violation report changed after mutating tuple reads")
+	}
+}
+
 // TestViolationsStreamingStops checks that the snapshot sequence honours an
 // early break, which is what makes it usable for first-match queries.
 func TestViolationsStreamingStops(t *testing.T) {
