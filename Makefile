@@ -67,11 +67,14 @@ fuzz:
 # never lower them to make a failing build pass.
 VIOLATION_COVER_FLOOR ?= 88.0
 RULES_COVER_FLOOR ?= 92.0
+MONITOR_COVER_FLOOR ?= 90.0
 cover:
 	$(GO) test -coverprofile=cover_violation.out ./violation > /dev/null
 	$(GO) test -coverprofile=cover_rules.out ./rules > /dev/null
+	$(GO) test -coverprofile=cover_monitor.out ./discovery/monitor > /dev/null
 	@./scripts/check_coverage.sh cover_violation.out $(VIOLATION_COVER_FLOOR) violation
 	@./scripts/check_coverage.sh cover_rules.out $(RULES_COVER_FLOOR) rules
+	@./scripts/check_coverage.sh cover_monitor.out $(MONITOR_COVER_FLOOR) discovery/monitor
 
 # serve-smoke starts cmd/cfdserve on fixture rules + data, drives the API with
 # curl and checks graceful shutdown; CI runs the same script. Its final leg
@@ -97,4 +100,4 @@ cluster-smoke:
 ci: fmt vet staticcheck build race cover fuzz docs-check bench obs-smoke cluster-smoke
 
 clean:
-	rm -f BENCH_ci.txt BENCH_ci.json cover_violation.out cover_rules.out
+	rm -f BENCH_ci.txt BENCH_ci.json cover_violation.out cover_rules.out cover_monitor.out

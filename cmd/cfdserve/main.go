@@ -103,6 +103,7 @@ import (
 
 	"repro/cfd"
 	"repro/discovery"
+	"repro/discovery/monitor"
 	"repro/obs"
 	"repro/rules"
 )
@@ -123,6 +124,14 @@ type config struct {
 	fsync        bool
 	compactEvery int
 	remineEvery  time.Duration
+	remineLimit  int
+
+	maintain           bool
+	maintainDrift      float64
+	maintainConfidence float64
+	maintainMinSupport int
+	maintainEpochs     uint64
+	maintainInterval   time.Duration
 
 	coordinator  bool
 	shardURLs    []string
@@ -149,7 +158,14 @@ func main() {
 		state        = flag.String("state", "", "state directory for the write-ahead log and snapshots (empty = memory-only)")
 		fsync        = flag.Bool("fsync", false, "fsync the write-ahead log on every commit (durable against machine crashes)")
 		compactEvery = flag.Int("compact-every", 4096, "background-compact a snapshot every N logged ops (0 = only at startup/shutdown)")
-		remineEvery  = flag.Duration("remine-every", 0, "re-mine rules over the live tuples on this interval and hot-swap them when changed (0 = only on POST /v1/rules/remine)")
+		remineEvery  = flag.Duration("remine-every", 0, "re-mine rules over the live tuples on this interval and hot-swap them when changed; ticks with an unmoved epoch are skipped (0 = only on POST /v1/rules/remine)")
+		remineLimit  = flag.Int("remine-limit", 0, "bound every remine run to the first N mined rules, keeping maintenance mining cheap (0 = mine the full cover)")
+		maintain     = flag.Bool("maintain", false, "continuously maintain the rule set: track live per-rule support/confidence and remine only when the -maintain-* policy says the data drifted (replaces -remine-every)")
+		maintDrift   = flag.Float64("maintain-drift", 0.25, "trigger a remine when a rule's live support drifts more than this fraction from its value at adoption (0 disables)")
+		maintConf    = flag.Float64("maintain-confidence", 0.95, "trigger a remine when a rule's live confidence falls below this floor (0 disables)")
+		maintMinSupp = flag.Int("maintain-min-support", 0, "exempt rules under this many supporting tuples from the drift/confidence clauses (0 = use -support)")
+		maintEpochs  = flag.Uint64("maintain-epochs", 0, "trigger a remine after this many mutation epochs regardless of per-rule drift (0 disables)")
+		maintEvery   = flag.Duration("maintain-interval", 30*time.Second, "minimum spacing between maintenance-triggered remines")
 		coordinator  = flag.Bool("coordinator", false, "serve as a cluster coordinator over the -shards fleet instead of holding tuples locally")
 		shards       = flag.String("shards", "", "comma-separated shard base URLs for -coordinator, e.g. http://10.0.0.7:8081,http://10.0.0.8:8081 (shard order is part of the cluster identity)")
 		partitionBy  = flag.String("partition-by", "", "comma-separated partition key attributes for -coordinator (default: derived from the served rules)")
@@ -165,7 +181,9 @@ func main() {
 		addr: *addr, rulesPath: *rules, dataPath: *data, workers: *workers,
 		samplePath: *sample, support: *support, maxLHS: *maxLHS,
 		statePath: *state, fsync: *fsync, compactEvery: *compactEvery,
-		remineEvery: *remineEvery,
+		remineEvery: *remineEvery, remineLimit: *remineLimit,
+		maintain: *maintain, maintainDrift: *maintDrift, maintainConfidence: *maintConf,
+		maintainMinSupport: *maintMinSupp, maintainEpochs: *maintEpochs, maintainInterval: *maintEvery,
 		coordinator: *coordinator, shardTimeout: *shardTimeout, initWait: *initWait,
 		debugAddr: *debugAddr, logLevel: *logLevel, logFormat: *logFormat,
 	}
@@ -223,16 +241,34 @@ func main() {
 	}
 
 	// The loop runs remines synchronously on its own goroutine, so waiting
-	// for loopDone at shutdown covers an in-flight periodic remine.
+	// for loopDone at shutdown covers an in-flight periodic or
+	// maintenance-triggered remine.
 	loopDone := make(chan struct{})
-	if cfg.remineEvery > 0 {
+	switch {
+	case cfg.maintain:
+		if cfg.remineEvery > 0 {
+			sv.close()
+			fatal(errors.New("-maintain replaces the blind -remine-every tick; set only one of them"))
+		}
+		pol := maintainPolicy(cfg)
+		mon := monitor.New(sv.eng, pol, h.maintainRemine, monitor.WithObserver(h.obs))
+		h.mon = mon
+		logger.Info("continuous rule maintenance enabled",
+			"drift", pol.MaxSupportDrift, "confidence", pol.MinConfidence,
+			"min_support", pol.MinSupport, "epochs", pol.MaxEpochs,
+			"interval", pol.MinInterval.String(), "remine_limit", cfg.remineLimit)
+		go func() {
+			defer close(loopDone)
+			mon.Run(ctx)
+		}()
+	case cfg.remineEvery > 0:
 		logger.Info("periodic remining enabled",
 			"every", cfg.remineEvery.String(), "support", cfg.support, "maxlhs", cfg.maxLHS)
 		go func() {
 			defer close(loopDone)
 			h.remineLoop(ctx, cfg.remineEvery)
 		}()
-	} else {
+	default:
 		close(loopDone)
 	}
 
@@ -347,17 +383,40 @@ func debugMux() *http.ServeMux {
 	return mux
 }
 
+// maintainPolicy resolves the -maintain-* flags to a monitor.Policy. The
+// MinSupport default follows the discovery threshold: a rule the miners
+// would not even report at the current -support should not drive remines.
+func maintainPolicy(cfg config) monitor.Policy {
+	minSupport := cfg.maintainMinSupport
+	if minSupport <= 0 {
+		minSupport = cfg.support
+	}
+	return monitor.Policy{
+		MaxSupportDrift: cfg.maintainDrift,
+		MinConfidence:   cfg.maintainConfidence,
+		MinSupport:      minSupport,
+		MaxEpochs:       cfg.maintainEpochs,
+		MinInterval:     cfg.maintainInterval,
+	}
+}
+
 // discoverRules mines the serving rule set on the given relation (the
 // trusted startup sample, or the live tuples during a remine); the resulting
 // set carries the discovery provenance, which GET /v1/rules exposes. A
 // cancelled ctx aborts the mining run promptly. progress, when non-nil, is
 // the discovery progress hook: called with the cumulative rule count after
-// every streamed rule (the remine path counts candidates through it).
-func discoverRules(ctx context.Context, sample *cfd.Relation, cfg config, progress func(found int)) (*rules.Set, error) {
+// every streamed rule (the remine path counts candidates through it). limit
+// bounds the run to the first N mined rules (-remine-limit; 0 = the full
+// cover) — the remine paths pass it so maintenance mining stays cheap, while
+// startup sample discovery always mines the full cover.
+func discoverRules(ctx context.Context, sample *cfd.Relation, cfg config, limit int, progress func(found int)) (*rules.Set, error) {
 	options := []discovery.Option{
 		discovery.WithSupport(cfg.support),
 		discovery.WithMaxLHS(cfg.maxLHS),
 		discovery.WithWorkers(cfg.workers),
+	}
+	if limit > 0 {
+		options = append(options, discovery.WithLimit(limit))
 	}
 	if progress != nil {
 		options = append(options, discovery.WithProgress(progress))

@@ -24,9 +24,12 @@ type obsStack struct {
 	inFlight *obs.Gauge
 	sse      *obs.Gauge
 
-	remineTotal   *obs.CounterVec // outcome: swapped | unchanged | error
+	remineTotal   *obs.CounterVec // outcome: swapped | unchanged | error | skipped
 	remineDur     *obs.Histogram
 	rulesStreamed *obs.Counter
+
+	maintainChecks   *obs.Counter    // maintenance-policy evaluations
+	maintainTriggers *obs.CounterVec // reason: drift | confidence | epochs
 }
 
 // newObsStack builds the registry, the HTTP/discovery families and the logger.
@@ -48,11 +51,21 @@ func newObsStack(cfg config, logW io.Writer) (*obsStack, error) {
 		reqDur:        reg.HistogramVec("cfd_http_request_duration_seconds", "HTTP request duration by route pattern and method.", obs.DefBuckets, "route", "method"),
 		inFlight:      reg.Gauge("cfd_http_in_flight_requests", "HTTP requests currently being served."),
 		sse:           reg.Gauge("cfd_http_sse_subscribers", "Open /v1/violations/stream SSE connections."),
-		remineTotal:   reg.CounterVec("cfd_remine_total", "Completed remine runs by outcome (swapped, unchanged, error).", "outcome"),
+		remineTotal:   reg.CounterVec("cfd_remine_total", "Remine runs by outcome (swapped, unchanged, error), plus periodic ticks skipped because the epoch had not moved (skipped).", "outcome"),
 		remineDur:     reg.Histogram("cfd_remine_duration_seconds", "Wall-clock duration of remine runs.", obs.DefBuckets),
 		rulesStreamed: reg.Counter("cfd_discovery_rules_streamed_total", "Candidate rules streamed by discovery during remines."),
+
+		maintainChecks:   reg.Counter("cfd_maintain_checks_total", "Rule-maintenance policy evaluations against the live per-rule counters."),
+		maintainTriggers: reg.CounterVec("cfd_maintain_triggers_total", "Maintenance-triggered remines by policy reason (drift, confidence, epochs).", "reason"),
 	}, nil
 }
+
+// ObserveCheck and ObserveTrigger make the obs stack the monitor.Observer of
+// the -maintain loop, so the monitor package stays metrics-free the same way
+// the violation engine does.
+func (o *obsStack) ObserveCheck() { o.maintainChecks.Inc() }
+
+func (o *obsStack) ObserveTrigger(reason string) { o.maintainTriggers.With(reason).Inc() }
 
 // statusWriter captures the response status for the access log and metrics.
 // It forwards Flush (the SSE handler type-asserts http.Flusher) and exposes

@@ -19,6 +19,7 @@ import (
 	"repro/cfd"
 	"repro/cleaning"
 	"repro/dataset"
+	"repro/discovery/monitor"
 	"repro/obs"
 	"repro/rules"
 	"repro/violation"
@@ -40,8 +41,15 @@ type server struct {
 	remining     atomic.Bool // CAS guard: at most one remine at a time
 	bg           sync.WaitGroup
 	started      time.Time
+	mon          *monitor.Monitor // -maintain loop; nil unless enabled
 	lastRemineMu sync.Mutex
 	lastRemine   *remineResult
+	// lastRemineEpoch is the engine epoch whose data the last successful
+	// remine covered; the -remine-every loop skips ticks while the epoch has
+	// not moved past it. haveRemineEpoch distinguishes "no remine yet" from
+	// epoch 0.
+	lastRemineEpoch uint64
+	haveRemineEpoch bool
 
 	lastCompactMu  sync.Mutex
 	lastCompactErr string // last background-compaction failure; "" once one succeeds
@@ -280,6 +288,30 @@ func (s *server) maybeCompact() {
 // start new work) and before closing the store.
 func (s *server) drainBackground() { s.bg.Wait() }
 
+// ruleStatJSON is the wire form of one rule's live discovery statistics,
+// served in rule-set order by GET /v1/rules and GET /v1/health.
+type ruleStatJSON struct {
+	Rule       string  `json:"rule"`
+	Support    int     `json:"support"`
+	Groups     int     `json:"groups"`
+	Violating  int     `json:"violating"`
+	Confidence float64 `json:"confidence"`
+}
+
+func toRuleStatsJSON(stats []violation.RuleStat) []ruleStatJSON {
+	out := make([]ruleStatJSON, len(stats))
+	for i, st := range stats {
+		out[i] = ruleStatJSON{
+			Rule:       st.Rule.String(),
+			Support:    st.Support,
+			Groups:     st.Groups,
+			Violating:  st.Violating,
+			Confidence: st.Confidence,
+		}
+	}
+	return out
+}
+
 func (s *server) health(w http.ResponseWriter, _ *http.Request) {
 	ds := s.eng.DeltaStats()
 	out := map[string]any{
@@ -316,6 +348,13 @@ func (s *server) health(w http.ResponseWriter, _ *http.Request) {
 		}
 		s.lastCompactMu.Unlock()
 	}
+	// The live per-rule counters: what continuous maintenance watches, and
+	// what an operator reads to judge how far the data has drifted from the
+	// served rules without waiting for a remine.
+	out["rule_stats"] = toRuleStatsJSON(s.eng.RuleStats())
+	if s.mon != nil {
+		out["maintain"] = s.mon.Status()
+	}
 	s.lastRemineMu.Lock()
 	if s.lastRemine != nil {
 		out["last_remine"] = s.lastRemine
@@ -344,11 +383,21 @@ func (s *server) rules(w http.ResponseWriter, r *http.Request) {
 	// even if a swap lands between them.
 	set := s.eng.RuleSet()
 	version := set.Fingerprint()
+	// Stats are read after the set; when a swap lands exactly between the
+	// two reads the lengths diverge, and one re-read restores agreement
+	// (rule swaps are rare and never back-to-back within a request).
+	stats := s.eng.RuleStats()
+	if len(stats) != set.Len() {
+		set = s.eng.RuleSet()
+		version = set.Fingerprint()
+		stats = s.eng.RuleStats()
+	}
 	w.Header().Set("ETag", `"`+version+`"`)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"attributes": s.eng.Attributes(),
 		"ruleset":    set,
 		"version":    version,
+		"stats":      toRuleStatsJSON(stats),
 	})
 }
 
@@ -413,15 +462,22 @@ func (s *server) putRules(w http.ResponseWriter, r *http.Request) {
 }
 
 // remineResult records the outcome of one remine run; /health serves the
-// latest one.
+// latest one — including failed runs, so a broken maintenance loop is loud
+// in health rather than leaving the previous success on display.
 type remineResult struct {
 	At      time.Time `json:"at"`
+	Outcome string    `json:"outcome"` // swapped | unchanged | error
 	Elapsed string    `json:"elapsed"`
 	Tuples  int       `json:"tuples"`
 	Swapped bool      `json:"swapped"`
 	Version string    `json:"version,omitempty"`
 	Delta   string    `json:"delta,omitempty"`
 	Error   string    `json:"error,omitempty"`
+
+	// minedEpoch is the engine epoch the mined relation covered (bumped past
+	// the swap when the run swapped cleanly); the periodic loop skips ticks
+	// until the epoch moves past it. Not part of the wire result.
+	minedEpoch uint64
 }
 
 // remine re-runs rule discovery over the live relation and swaps the result
@@ -466,17 +522,22 @@ func (s *server) remineOnce(ctx context.Context) remineResult {
 	defer s.remining.Store(false)
 	start := time.Now()
 	res := s.runRemine(ctx)
-	outcome := "unchanged"
+	res.Outcome = "unchanged"
 	switch {
 	case res.Error != "":
-		outcome = "error"
+		res.Outcome = "error"
 	case res.Swapped:
-		outcome = "swapped"
+		res.Outcome = "swapped"
 	}
-	s.obs.remineTotal.With(outcome).Inc()
+	s.obs.remineTotal.With(res.Outcome).Inc()
 	s.obs.remineDur.ObserveSince(start)
 	s.lastRemineMu.Lock()
 	s.lastRemine = &res
+	if res.Error == "" {
+		// Only completed runs move the skip baseline: after a failure the
+		// next periodic tick retries instead of skipping.
+		s.lastRemineEpoch, s.haveRemineEpoch = res.minedEpoch, true
+	}
 	s.lastRemineMu.Unlock()
 	return res
 }
@@ -485,6 +546,9 @@ func (s *server) runRemine(ctx context.Context) (res remineResult) {
 	start := time.Now()
 	res = remineResult{At: start}
 	defer func() { res.Elapsed = time.Since(start).Round(time.Millisecond).String() }()
+	// Captured before Relation(), so it never exceeds the epoch the mined
+	// copy reflects: a skip decision based on it is always conservative.
+	res.minedEpoch = s.eng.Epoch()
 	rel, _, err := s.eng.Relation()
 	if err != nil {
 		res.Error = err.Error()
@@ -498,9 +562,11 @@ func (s *server) runRemine(ctx context.Context) (res remineResult) {
 		return res
 	}
 	lastFound := 0
-	set, err := discoverRules(ctx, rel, s.cfg, func(found int) {
+	set, err := discoverRules(ctx, rel, s.cfg, s.cfg.remineLimit, func(found int) {
 		// The hook reports the cumulative count; convert it to increments so
-		// the counter keeps rising monotonically across remine runs.
+		// the counter keeps rising monotonically across remine runs. The
+		// non-atomic lastFound is safe because WithProgress guarantees serial
+		// invocation regardless of the worker count (see discovery.Engine).
 		if found > lastFound {
 			s.obs.rulesStreamed.Add(uint64(found - lastFound))
 			lastFound = found
@@ -522,15 +588,31 @@ func (s *server) runRemine(ctx context.Context) (res remineResult) {
 	s.maybeCompact()
 	res.Swapped = true
 	res.Delta = delta.String()
+	// When our swap was the only write since the capture, the post-swap
+	// epoch is fully covered too; otherwise stay at the conservative
+	// capture (the interleaved writes deserve the next tick's look).
+	if e := s.eng.Epoch(); e == res.minedEpoch+1 {
+		res.minedEpoch = e
+	}
 	s.logger().Info("remine swapped rules", "tuples", rel.Size(), "delta", delta.String(), "version", res.Version)
 	return res
 }
 
-// remineLoop drives the -remine-every cadence: every tick starts a remine
-// unless one is already running. It exits when ctx is cancelled (shutdown),
-// and the tick's run is cancelled by the same context, so shutdown never
-// waits out a long mining run.
+// remineLoop drives the -remine-every cadence: a tick starts a remine only
+// when the engine epoch has moved since the last completed run — an idle
+// server performs zero discovery runs, each skipped tick counted under
+// cfd_remine_total{outcome="skipped"}. It exits when ctx is cancelled
+// (shutdown), and the tick's run is cancelled by the same context, so
+// shutdown never waits out a long mining run.
 func (s *server) remineLoop(ctx context.Context, every time.Duration) {
+	// Seed the skip baseline from the head epoch: the data the server booted
+	// with is what the serving rules were mined from (or uploaded for), so
+	// an untouched engine needs no first run either.
+	s.lastRemineMu.Lock()
+	if !s.haveRemineEpoch {
+		s.lastRemineEpoch, s.haveRemineEpoch = s.eng.Epoch(), true
+	}
+	s.lastRemineMu.Unlock()
 	ticker := time.NewTicker(every)
 	defer ticker.Stop()
 	for {
@@ -538,11 +620,36 @@ func (s *server) remineLoop(ctx context.Context, every time.Duration) {
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
+			s.lastRemineMu.Lock()
+			skip := s.haveRemineEpoch && s.eng.Epoch() == s.lastRemineEpoch
+			s.lastRemineMu.Unlock()
+			if skip {
+				s.obs.remineTotal.With("skipped").Inc()
+				continue
+			}
 			if s.remining.CompareAndSwap(false, true) {
 				s.remineOnce(ctx)
 			}
 		}
 	}
+}
+
+// maintainRemine is the monitor's remine callback in -maintain mode: one
+// bounded remine through the same CAS guard, result recording and metrics as
+// every other remine path. A run already in flight (a concurrent manual
+// POST /v1/rules/remine) is an error, so the monitor keeps the trigger
+// armed and retries after its pacing interval.
+func (s *server) maintainRemine(ctx context.Context, tr monitor.Trigger) error {
+	if !s.remining.CompareAndSwap(false, true) {
+		return errors.New("a remine is already running")
+	}
+	s.logger().Info("maintenance remine triggered",
+		"reason", tr.Reason, "rule", tr.Rule, "detail", tr.Detail, "epoch", tr.Epoch)
+	res := s.remineOnce(ctx)
+	if res.Error != "" {
+		return errors.New(res.Error)
+	}
+	return nil
 }
 
 type violationJSON struct {
@@ -992,7 +1099,7 @@ func loadEngine(cfg config) (*violation.Engine, error) {
 		}
 	case sampleRel != nil:
 		var err error
-		set, err = discoverRules(context.Background(), sampleRel, cfg, nil)
+		set, err = discoverRules(context.Background(), sampleRel, cfg, 0, nil)
 		if err != nil {
 			return nil, err
 		}

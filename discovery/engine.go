@@ -76,8 +76,14 @@ func WithWorkers(n int) Option { return func(c *engineConfig) { c.workers = n } 
 func WithLimit(n int) Option { return func(c *engineConfig) { c.limit = n } }
 
 // WithProgress registers a callback invoked after every streamed rule with
-// the cumulative number of rules seen so far. It runs on the consumer's
-// goroutine, between yields; keep it cheap.
+// the cumulative number of rules seen so far.
+//
+// Invocations are guaranteed serial regardless of WithWorkers: parallel
+// miners hand their results to a single reordering consumer (internal/pool),
+// and the callback fires on the stream's consumer goroutine between yields,
+// so calls never overlap and found only ever increases by one. Callers may
+// therefore use a plain (non-atomic) counter from the callback — but it runs
+// on the hot streaming path, so keep it cheap.
 func WithProgress(fn func(found int)) Option { return func(c *engineConfig) { c.progress = fn } }
 
 // WithVariableOnly suppresses constant CFDs (FastCFD/NaiveFast only); the

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -203,5 +204,46 @@ func TestStreamCancelMidStreamNoGoroutineLeak(t *testing.T) {
 		}
 		runtime.Gosched()
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestProgressSerialInvocation pins the WithProgress contract: however many
+// workers the run uses, the callback is never invoked concurrently and the
+// cumulative count advances by exactly one per call — so callers (cfdserve's
+// rules-streamed counter among them) may keep plain, unsynchronised state in
+// the callback.
+func TestProgressSerialInvocation(t *testing.T) {
+	gen, err := dataset.Tax(dataset.TaxConfig{Size: 300, Arity: 7, CF: 0.5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []discovery.Algorithm{
+		discovery.AlgCFDMiner, discovery.AlgCTANE, discovery.AlgFastCFD,
+	} {
+		var inFlight atomic.Int32
+		overlaps := 0
+		calls := 0
+		eng := discovery.NewEngine(alg, gen,
+			discovery.WithSupport(4), discovery.WithWorkers(8),
+			discovery.WithProgress(func(found int) {
+				if !inFlight.CompareAndSwap(0, 1) {
+					overlaps++
+				}
+				calls++ // plain int: the race detector flags any overlap too
+				if found != calls {
+					t.Errorf("%s: progress(found=%d) on call %d, want strictly +1 steps", alg, found, calls)
+				}
+				inFlight.Store(0)
+			}))
+		set, err := eng.Run(context.Background())
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if overlaps != 0 {
+			t.Fatalf("%s: %d overlapping progress invocations", alg, overlaps)
+		}
+		if calls == 0 || calls < set.Len() {
+			t.Fatalf("%s: %d progress calls for %d rules", alg, calls, set.Len())
+		}
 	}
 }

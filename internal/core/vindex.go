@@ -35,6 +35,7 @@ type RuleIndex struct {
 	pairs    map[uint64]uint32
 	nextPair uint32
 	bad      int // total tuples currently in violating groups
+	size     int // total tuples indexed (rows matching the LHS pattern)
 }
 
 // vgroup is the state of one LHS-value equivalence class. Members are stored
@@ -273,6 +274,7 @@ func (ix *RuleIndex) InsertObserve(id int, row []int32, observe func(id int, vio
 	}
 	code := row[ix.c.RHS]
 	g.members = append(g.members, packMember(id, code))
+	ix.size++
 	if g.idpos != nil {
 		g.idpos[id] = len(g.members) - 1
 	}
@@ -325,6 +327,7 @@ func (ix *RuleIndex) DeleteObserve(id int, row []int32, observe func(id int, vio
 	}
 	g.removeAt(pos, id)
 	g.decr(code)
+	ix.size--
 	if len(g.members) == 0 {
 		delete(ix.groups, k)
 		if wasBad && observe != nil {
@@ -380,6 +383,14 @@ func (ix *RuleIndex) IsViolating(id int, row []int32) bool {
 // BadTuples returns the number of tuples currently involved in a violation,
 // in O(1).
 func (ix *RuleIndex) BadTuples() int { return ix.bad }
+
+// Tuples returns the number of tuples currently indexed — the rows matching
+// the rule's LHS pattern constants, i.e. the rule's live support — in O(1).
+func (ix *RuleIndex) Tuples() int { return ix.size }
+
+// Groups returns the number of distinct LHS-value equivalence classes
+// currently holding at least one tuple, in O(1).
+func (ix *RuleIndex) Groups() int { return len(ix.groups) }
 
 // Violating returns the ids of all tuples currently involved in a violation,
 // in ascending order.

@@ -114,6 +114,67 @@ func TestRuleIndexMatchesNaiveOracle(t *testing.T) {
 	}
 }
 
+// TestRuleIndexSupportCounters checks that Tuples() and Groups() — the O(1)
+// counters the maintenance layer serves as live support — stay equal to a
+// naive recount of matching tuples and distinct LHS-value classes through
+// random insert/delete churn.
+func TestRuleIndexSupportCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		r := fixture.Random(int64(200+trial), 30, []int{2, 3, 2, 4})
+		c := randomVindexCFD(rng, r)
+		attrs := c.LHS.Attrs()
+		matches := func(row []int32) bool {
+			for _, a := range attrs {
+				if p := c.Tp[a]; p != core.Wildcard && row[a] != p {
+					return false
+				}
+			}
+			return true
+		}
+		groupKey := func(row []int32) string {
+			k := ""
+			for _, a := range attrs {
+				k += string(rune(row[a])) + "\x00"
+			}
+			return k
+		}
+		ix := core.NewRuleIndex(c)
+		rows := make([][]int32, r.Size())
+		live := make(map[int]bool)
+		check := func(step string) {
+			t.Helper()
+			wantTuples := 0
+			wantGroups := make(map[string]bool)
+			for id := range live {
+				if matches(rows[id]) {
+					wantTuples++
+					wantGroups[groupKey(rows[id])] = true
+				}
+			}
+			if ix.Tuples() != wantTuples {
+				t.Fatalf("trial %d %s: Tuples = %d, naive = %d for %s", trial, step, ix.Tuples(), wantTuples, c.Format(r))
+			}
+			if ix.Groups() != len(wantGroups) {
+				t.Fatalf("trial %d %s: Groups = %d, naive = %d for %s", trial, step, ix.Groups(), len(wantGroups), c.Format(r))
+			}
+		}
+		for t0 := 0; t0 < r.Size(); t0++ {
+			rows[t0] = r.CodedRow(t0)
+			ix.Insert(t0, rows[t0])
+			live[t0] = true
+		}
+		check("after load")
+		for t0 := 0; t0 < r.Size(); t0++ {
+			if rng.Intn(2) == 0 {
+				ix.Delete(t0, rows[t0])
+				delete(live, t0)
+			}
+		}
+		check("after deletes")
+	}
+}
+
 // TestRuleIndexIncrementalDelete checks that after deleting tuples from a
 // fully-loaded index, the violating set equals a fresh index built over the
 // surviving tuples only.

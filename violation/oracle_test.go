@@ -345,6 +345,66 @@ func runOracle(t *testing.T, seed int64, steps int, eng *violation.Engine, pool 
 			t.Fatalf("seed %d step %d (%s): engine size %d, oracle %d",
 				seed, step, desc, eng.Size(), len(m.rows))
 		}
+		checkRuleStats(t, eng, m, rel.Attributes(), wantViols,
+			fmt.Sprintf("seed %d step %d (%s)", seed, step, desc))
+	}
+}
+
+// checkRuleStats asserts that the engine's O(rules) counter-derived RuleStats
+// equal a naive recomputation over the model's live rows: support by
+// re-matching every row against the LHS pattern, groups by collecting
+// distinct LHS-value combinations, violating from the already-verified naive
+// violation list.
+func checkRuleStats(t *testing.T, eng *violation.Engine, m *oracleModel, attrs []string, viols []violation.Violation, ctx string) {
+	t.Helper()
+	idx := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		idx[a] = i
+	}
+	got := eng.RuleStats()
+	set := m.set.CFDs()
+	if len(got) != len(set) {
+		t.Fatalf("%s: RuleStats has %d entries, set has %d rules", ctx, len(got), len(set))
+	}
+	vi := 0
+	for i, r := range set {
+		support, groups := 0, make(map[string]bool)
+		for _, row := range m.rows {
+			match := true
+			key := make([]string, len(r.LHS))
+			for j, a := range r.LHS {
+				v := row[idx[a]]
+				if p := r.LHSPattern[j]; p != cfd.Wildcard && v != p {
+					match = false
+					break
+				}
+				key[j] = v
+			}
+			if match {
+				support++
+				groups[fmt.Sprintf("%q", key)] = true
+			}
+		}
+		violating := 0
+		if vi < len(viols) && viols[vi].Rule.Equal(r) {
+			violating = len(viols[vi].Tuples)
+			vi++
+		}
+		conf := 1.0
+		if support > 0 {
+			conf = float64(support-violating) / float64(support)
+		}
+		s := got[i]
+		if !s.Rule.Equal(r) {
+			t.Fatalf("%s: RuleStats[%d].Rule = %s, set order says %s", ctx, i, s.Rule, r)
+		}
+		if s.Support != support || s.Groups != len(groups) || s.Violating != violating || s.Confidence != conf {
+			t.Fatalf("%s: RuleStats[%d] for %s = {support %d, groups %d, violating %d, confidence %g}, naive = {%d, %d, %d, %g}",
+				ctx, i, r, s.Support, s.Groups, s.Violating, s.Confidence, support, len(groups), violating, conf)
+		}
+	}
+	if vi != len(viols) {
+		t.Fatalf("%s: %d naive violation entries not matched to set rules", ctx, len(viols)-vi)
 	}
 }
 

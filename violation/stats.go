@@ -1,0 +1,51 @@
+package violation
+
+import "repro/cfd"
+
+// RuleStat is the live discovery statistics of one served rule, derived in
+// O(1) from the counters the rule's core.RuleIndex already maintains — no
+// rescan of the relation is ever needed.
+//
+// Support is the number of live tuples matching the rule's LHS pattern
+// constants (the tuples the rule applies to), Groups the number of distinct
+// LHS-value equivalence classes among them, and Violating the number of
+// supporting tuples currently involved in a violation. Confidence is the
+// fraction of supporting tuples that are violation-free,
+// (Support-Violating)/Support; a rule with no supporting tuples is vacuously
+// satisfied, so its Confidence is 1.
+//
+// These are the quantities the paper's miners threshold on at discovery time
+// (support §2.2, confidence via the dirty-data variants); serving them live
+// is what lets the maintenance layer detect drift without re-mining.
+type RuleStat struct {
+	Rule       cfd.CFD
+	Support    int
+	Groups     int
+	Violating  int
+	Confidence float64
+}
+
+// RuleStats returns one RuleStat per served rule, in set order, computed
+// under a read lock in O(rules) total. The snapshot is consistent: all
+// entries observe the same epoch.
+func (e *Engine) RuleStats() []RuleStat {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]RuleStat, len(e.rules))
+	for i, r := range e.rules {
+		ix := e.indexes[i]
+		s := RuleStat{
+			Rule:      r,
+			Support:   ix.Tuples(),
+			Groups:    ix.Groups(),
+			Violating: ix.BadTuples(),
+		}
+		if s.Support > 0 {
+			s.Confidence = float64(s.Support-s.Violating) / float64(s.Support)
+		} else {
+			s.Confidence = 1
+		}
+		out[i] = s
+	}
+	return out
+}
